@@ -1,0 +1,57 @@
+// Ablation beyond the paper's figures: implicit host-memory access (the
+// design GAMMA builds on, §II-B) vs Subway-style explicit transfer, which
+// gathers + reorganizes + ships the frontier before every extension. The
+// paper argues explicit transfer "cannot be applied to large-scale GPM";
+// this bench quantifies the gap on multi-extension workloads.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gpm;
+
+void BM_Access(benchmark::State& state, std::string dataset,
+               core::GraphPlacement placement, int k) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    core::GammaOptions options = bench::BenchGammaOptions();
+    options.access.placement = placement;
+    auto r = baselines::GammaKClique(&device, g, k, options);
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["h2d_MiB"] =
+        static_cast<double>(device.stats().explicit_h2d_bytes +
+                            device.stats().um_migrated_bytes) /
+        1048576.0;
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct {
+    core::GraphPlacement placement;
+    const char* name;
+  } modes[] = {
+      {core::GraphPlacement::kHybridAdaptive, "implicit-hybrid"},
+      {core::GraphPlacement::kExplicitTransfer, "explicit-transfer"},
+  };
+  for (const char* name : {"ER", "EA", "CP", "CL"}) {
+    for (const auto& m : modes) {
+      std::string ds = name;
+      core::GraphPlacement p = m.placement;
+      bench::RegisterSim(
+          std::string("AblationAccess/4CL/") + m.name + "/" + ds,
+          [ds, p](benchmark::State& s) { BM_Access(s, ds, p, 4); });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: vertex-ordering effect on the self-adaptive access policy.
+// Related work (§VII-C) improves UM/zero-copy performance by reordering
+// graphs; this bench runs the same workload on degree-sorted, BFS and
+// random layouts. Degree-descending clusters hub adjacency lists into few
+// pages, which the AccHeat policy can pin; a random layout smears them.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "graph/reorder.h"
+
+namespace {
+
+using namespace gpm;
+
+void BM_Reorder(benchmark::State& state, std::string dataset,
+                graph::ReorderStrategy strategy) {
+  graph::Graph g =
+      graph::Reorder(bench::Dataset(dataset), strategy, /*seed=*/3);
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    auto r = baselines::GammaKClique(&device, g, 4,
+                                     bench::BenchGammaOptions());
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["um_faults"] =
+        static_cast<double>(device.stats().um_page_faults);
+    state.counters["zc_tx"] =
+        static_cast<double>(device.stats().zc_transactions);
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct {
+    graph::ReorderStrategy strategy;
+    const char* name;
+  } strategies[] = {
+      {graph::ReorderStrategy::kDegreeDescending, "degree-desc"},
+      {graph::ReorderStrategy::kBfs, "bfs"},
+      {graph::ReorderStrategy::kRandom, "random"},
+      {graph::ReorderStrategy::kDegeneracy, "degeneracy"},
+  };
+  for (const char* name : {"EA", "CP", "CL"}) {
+    for (const auto& strat : strategies) {
+      std::string ds = name;
+      graph::ReorderStrategy s2 = strat.strategy;
+      bench::RegisterSim(
+          std::string("AblationReorder/4CL/") + strat.name + "/" + ds,
+          [ds, s2](benchmark::State& s) { BM_Reorder(s, ds, s2); });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

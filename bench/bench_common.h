@@ -1,0 +1,84 @@
+#ifndef GAMMA_BENCH_BENCH_COMMON_H_
+#define GAMMA_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "baselines/presets.h"
+#include "baselines/systems.h"
+#include "graph/datasets.h"
+#include "gpusim/device.h"
+
+namespace gpm::bench {
+
+/// Simulated device used across the benches. The ratios mirror the paper's
+/// testbed: device memory is small relative to the proxy graphs and their
+/// intermediate results, the same way 16 GB compares to billion-edge
+/// graphs and 310 GB of intermediates.
+inline gpusim::SimParams BenchDeviceParams() {
+  gpusim::SimParams p;
+  p.device_memory_bytes = 4ull << 20;  // 4 MiB "device"
+  // The page buffer is deliberately much smaller than the proxy graphs
+  // (64 pages vs hundreds of CSR pages) — the paper's regime, where the
+  // choice of which pages to cache actually matters.
+  p.um_device_buffer_bytes = 256ull << 10;
+  return p;
+}
+
+/// Device for the in-core systems (Pangolin-GPU, GSI): same capacity, but
+/// no unified-memory page buffer — they use explicit transfers only, so
+/// all device memory serves data (as on real hardware).
+inline gpusim::SimParams InCoreDeviceParams() {
+  gpusim::SimParams p = BenchDeviceParams();
+  p.um_device_buffer_bytes = 0;
+  return p;
+}
+
+/// GAMMA options sized for the bench device.
+inline core::GammaOptions BenchGammaOptions() {
+  core::GammaOptions options = baselines::GammaDefaultOptions();
+  options.extension.pool_bytes = 2ull << 20;
+  return options;
+}
+
+/// Dataset cache: proxies are generated once per bench binary.
+inline const graph::Graph& Dataset(const std::string& name) {
+  static std::map<std::string, graph::Graph>* cache =
+      new std::map<std::string, graph::Graph>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    graph::Graph g = graph::MakeDataset(name);
+    g.EnsureEdgeIndex();
+    it = cache->emplace(name, std::move(g)).first;
+  }
+  return it->second;
+}
+
+/// Reports one completed system run: simulated time becomes the manual
+/// iteration time, so the benchmark table reads in simulated seconds.
+inline void ReportSimMillis(benchmark::State& state, double sim_millis) {
+  state.SetIterationTime(sim_millis / 1e3);
+  state.counters["sim_ms"] = sim_millis;
+}
+
+/// Standard skip for the paper's "crashed on this dataset" cases.
+inline void SkipCrashed(benchmark::State& state, const Status& status) {
+  state.SkipWithError(status.ToString().c_str());
+}
+
+/// Registers a single-shot manual-time benchmark. The installed
+/// google-benchmark lacks the variadic RegisterBenchmark overload, so
+/// benches bind their arguments in a capturing lambda.
+template <typename Fn>
+benchmark::internal::Benchmark* RegisterSim(const std::string& name,
+                                            Fn fn) {
+  return benchmark::RegisterBenchmark(name.c_str(), fn)
+      ->UseManualTime()
+      ->Iterations(1);
+}
+
+}  // namespace gpm::bench
+
+#endif  // GAMMA_BENCH_BENCH_COMMON_H_

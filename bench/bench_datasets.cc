@@ -1,0 +1,55 @@
+// Table II: datasets. Prints the paper's datasets next to the synthetic
+// proxies this reproduction generates (with the scale divisor), then
+// benchmarks proxy generation itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "graph/datasets.h"
+
+namespace {
+
+using namespace gpm;
+
+void PrintTable() {
+  std::printf("=== Table II: datasets (paper vs generated proxy) ===\n");
+  std::printf("%-5s %-12s %-10s %12s %14s %8s %12s %12s %8s\n", "name",
+              "full", "family", "paper |V|", "paper |E|", "scale",
+              "proxy |V|", "proxy |E|", "d_max");
+  for (const graph::DatasetInfo& d : graph::AllDatasets()) {
+    const graph::Graph& g = bench::Dataset(d.name);
+    std::printf("%-5s %-12s %-10s %12llu %14llu %8.0f %12zu %12zu %8u\n",
+                d.name.c_str(), d.full_name.c_str(), d.family.c_str(),
+                static_cast<unsigned long long>(d.paper_nodes),
+                static_cast<unsigned long long>(d.paper_edges),
+                d.scale_divisor, g.num_vertices(), g.num_edges(),
+                g.max_degree());
+  }
+  std::printf("\n");
+}
+
+void BM_GenerateDataset(benchmark::State& state, std::string name) {
+  for (auto _ : state) {
+    graph::Graph g = graph::MakeDataset(name);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(
+      graph::MakeDataset(name).num_edges());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  for (const char* name : {"ER", "EA", "CP", "CL", "CO", "SL5"}) {
+    std::string ds = name;
+    benchmark::RegisterBenchmark(
+        (std::string("GenerateDataset/") + name).c_str(),
+        [ds](benchmark::State& state) { BM_GenerateDataset(state, ds); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

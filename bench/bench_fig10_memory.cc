@@ -1,0 +1,127 @@
+// Fig. 10: peak memory usage (host + device) of GAMMA vs the in-core GPU
+// systems (Pangolin-GPU; GSI for SM) per workload. In-core systems only
+// use device memory and crash once the working set exceeds it; GAMMA
+// spills to host memory, and its embedding-table compression keeps the
+// total below the uncompressed baselines where both run.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gpm;
+
+void ReportMemory(benchmark::State& state,
+                  const baselines::GpuRunResult& r) {
+  state.counters["device_MiB"] =
+      static_cast<double>(r.peak_device_bytes) / 1048576.0;
+  state.counters["host_MiB"] =
+      static_cast<double>(r.peak_host_bytes) / 1048576.0;
+  state.counters["total_MiB"] =
+      static_cast<double>(r.peak_device_bytes + r.peak_host_bytes) /
+      1048576.0;
+  bench::ReportSimMillis(state, r.sim_millis);
+}
+
+enum class System { kGamma, kPangolinGpu, kGsi };
+
+void BM_MemorySm(benchmark::State& state, std::string dataset, System sys) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  graph::Pattern q = graph::Pattern::SmQuery(1, g.num_labels());
+  for (auto _ : state) {
+    gpusim::Device device(sys == System::kGamma
+                               ? bench::BenchDeviceParams()
+                               : bench::InCoreDeviceParams());
+    Result<baselines::GpuRunResult> r =
+        sys == System::kGamma
+            ? baselines::GammaMatch(&device, g, q,
+                                    bench::BenchGammaOptions())
+            : baselines::GsiMatch(&device, g, q);
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    ReportMemory(state, r.value());
+  }
+}
+
+void BM_MemoryKcl(benchmark::State& state, std::string dataset,
+                  System sys) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  for (auto _ : state) {
+    gpusim::Device device(sys == System::kGamma
+                               ? bench::BenchDeviceParams()
+                               : bench::InCoreDeviceParams());
+    Result<baselines::GpuRunResult> r =
+        sys == System::kGamma
+            ? baselines::GammaKClique(&device, g, 4,
+                                      bench::BenchGammaOptions())
+            : baselines::PangolinGpuKClique(&device, g, 4);
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    ReportMemory(state, r.value());
+  }
+}
+
+void BM_MemoryFpm(benchmark::State& state, std::string dataset,
+                  System sys) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  uint64_t min_support = g.num_edges() / 10;
+  for (auto _ : state) {
+    gpusim::Device device(sys == System::kGamma
+                               ? bench::BenchDeviceParams()
+                               : bench::InCoreDeviceParams());
+    Result<baselines::GpuRunResult> r =
+        sys == System::kGamma
+            ? baselines::GammaFpm(&device, g, 3, min_support,
+                                  bench::BenchGammaOptions())
+            : baselines::PangolinGpuFpm(&device, g, 3, min_support);
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    ReportMemory(state, r.value());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* name : {"ER", "EA", "CP", "CL", "CO", "SL5", "CL8"}) {
+    std::string ds = name;
+    bench::RegisterSim(
+        std::string("Fig10/SM-q1/GAMMA/") + ds,
+        [ds](benchmark::State& s) { BM_MemorySm(s, ds, System::kGamma); });
+    bench::RegisterSim(
+        std::string("Fig10/SM-q1/GSI/") + ds,
+        [ds](benchmark::State& s) { BM_MemorySm(s, ds, System::kGsi); });
+  }
+  for (const char* name : {"ER", "EA", "CP", "CL"}) {
+    std::string ds = name;
+    bench::RegisterSim(std::string("Fig10/4CL/GAMMA/") + ds,
+                       [ds](benchmark::State& s) {
+                         BM_MemoryKcl(s, ds, System::kGamma);
+                       });
+    bench::RegisterSim(std::string("Fig10/4CL/Pangolin-GPU/") + ds,
+                       [ds](benchmark::State& s) {
+                         BM_MemoryKcl(s, ds, System::kPangolinGpu);
+                       });
+  }
+  for (const char* name : {"ER", "CP"}) {
+    std::string ds = name;
+    bench::RegisterSim(std::string("Fig10/FPM-3/GAMMA/") + ds,
+                       [ds](benchmark::State& s) {
+                         BM_MemoryFpm(s, ds, System::kGamma);
+                       });
+    bench::RegisterSim(std::string("Fig10/FPM-3/Pangolin-GPU/") + ds,
+                       [ds](benchmark::State& s) {
+                         BM_MemoryFpm(s, ds, System::kPangolinGpu);
+                       });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

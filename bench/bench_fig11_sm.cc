@@ -1,0 +1,77 @@
+// Fig. 11: subgraph matching running time — GAMMA vs GSI (in-core GPU)
+// vs Peregrine (multi-thread CPU) on the three Fig. 13 queries.
+// Expected shape: GAMMA wins on mid/large graphs; on the tiny EA/ER
+// datasets the in-core/CPU systems can win because GAMMA pays host-memory
+// staging; GSI crashes where its worst-case buffers or in-core tables no
+// longer fit.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gpm;
+
+enum class System { kGamma, kGsi, kPeregrine };
+
+void BM_Sm(benchmark::State& state, std::string dataset, int query,
+           System sys) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  graph::Pattern q = graph::Pattern::SmQuery(query, g.num_labels());
+  for (auto _ : state) {
+    double sim_millis = 0;
+    uint64_t count = 0;
+    if (sys == System::kPeregrine) {
+      baselines::CpuRunResult r = baselines::PeregrineMatch(g, q);
+      sim_millis = r.sim_millis;
+      count = r.count;
+    } else {
+      gpusim::Device device(sys == System::kGamma
+                                 ? bench::BenchDeviceParams()
+                                 : bench::InCoreDeviceParams());
+      Result<baselines::GpuRunResult> r =
+          sys == System::kGamma
+              ? baselines::GammaMatch(&device, g, q,
+                                      bench::BenchGammaOptions())
+              : baselines::GsiMatch(&device, g, q);
+      if (!r.ok()) {
+        bench::SkipCrashed(state, r.status());
+        return;
+      }
+      sim_millis = r.value().sim_millis;
+      count = r.value().count;
+    }
+    state.counters["embeddings"] = static_cast<double>(count);
+    bench::ReportSimMillis(state, sim_millis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* datasets[] = {"ER", "EA", "CP", "CL", "CO", "SL5", "CL8"};
+  struct {
+    System sys;
+    const char* name;
+  } systems[] = {{System::kGamma, "GAMMA"},
+                 {System::kGsi, "GSI"},
+                 {System::kPeregrine, "Peregrine"}};
+  for (int q = 1; q <= 3; ++q) {
+    for (const char* name : datasets) {
+      for (const auto& sys : systems) {
+        std::string ds = name;
+        System which = sys.sys;
+        bench::RegisterSim(
+            std::string("Fig11/SM-q") + std::to_string(q) + "/" +
+                sys.name + "/" + ds,
+            [ds, q, which](benchmark::State& s) {
+              BM_Sm(s, ds, q, which);
+            });
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

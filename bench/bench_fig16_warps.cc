@@ -1,0 +1,47 @@
+// Fig. 16: scalability with warp count. GAMMA's speedup over Pangolin-ST
+// should grow approximately linearly with the number of resident warps
+// (the paper reports GAMMA ahead already at 1-2 warps).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gpm;
+
+void BM_Warps(benchmark::State& state, std::string dataset, int warps) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  baselines::CpuRunResult st_run = baselines::PangolinStKClique(g, 4);
+  for (auto _ : state) {
+    gpusim::SimParams params = bench::BenchDeviceParams();
+    params.num_warp_slots = warps;
+    gpusim::Device device(params);
+    auto r = baselines::GammaKClique(&device, g, 4,
+                                     bench::BenchGammaOptions());
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["speedup_vs_PangolinST"] =
+        st_run.sim_millis / r.value().sim_millis;
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* name : {"EA", "CP", "CL"}) {
+    for (int warps : {1, 2, 4, 8, 16, 32, 64, 128}) {
+      std::string ds = name;
+      bench::RegisterSim(
+          std::string("Fig16/4CL/") + ds + "/warps" +
+              std::to_string(warps),
+          [ds, warps](benchmark::State& s) { BM_Warps(s, ds, warps); });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

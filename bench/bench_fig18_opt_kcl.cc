@@ -1,0 +1,68 @@
+// Fig. 18: effect of the extension-primitive optimizations on k-clique,
+// same three variants as Fig. 17 (naive / +dynamic-alloc / +pre-merge).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gpm;
+
+enum class Variant { kNaive, kDynamicAlloc, kPreMerge };
+
+core::GammaOptions VariantOptions(Variant v) {
+  core::GammaOptions options = bench::BenchGammaOptions();
+  switch (v) {
+    case Variant::kNaive:
+      options.extension.write_strategy = core::WriteStrategy::kNaiveTwoPass;
+      options.extension.pre_merge = false;
+      break;
+    case Variant::kDynamicAlloc:
+      options.extension.write_strategy = core::WriteStrategy::kDynamicAlloc;
+      options.extension.pre_merge = false;
+      break;
+    case Variant::kPreMerge:
+      options.extension.write_strategy = core::WriteStrategy::kDynamicAlloc;
+      options.extension.pre_merge = true;
+      break;
+  }
+  return options;
+}
+
+void BM_OptKcl(benchmark::State& state, std::string dataset, Variant v) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    auto r = baselines::GammaKClique(&device, g, 4, VariantOptions(v));
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["cliques"] = static_cast<double>(r.value().count);
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct {
+    Variant v;
+    const char* name;
+  } variants[] = {{Variant::kNaive, "naive"},
+                  {Variant::kDynamicAlloc, "dynamic-alloc"},
+                  {Variant::kPreMerge, "pre-merge"}};
+  for (const char* name : {"ER", "EA", "CP", "CL"}) {
+    for (const auto& var : variants) {
+      std::string ds = name;
+      Variant v = var.v;
+      bench::RegisterSim(
+          std::string("Fig18/4CL/") + var.name + "/" + ds,
+          [ds, v](benchmark::State& s) { BM_OptKcl(s, ds, v); });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

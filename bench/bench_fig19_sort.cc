@@ -1,0 +1,75 @@
+// Fig. 19 + Table III: out-of-core multi-merge sorting. The paper merges
+// up to 4.3 B 64-bit keys n-ways; scaled here to millions of keys against
+// a MiB-scale device, preserving the keys-to-device ratio. Methods:
+// GAMMA's checkpointed multi-merge (Optimization 3), the naive merge
+// (full pairwise searches), an xtr2sort-style sample sort, and CPU
+// std::sort (Table III's CPU row, far slower than every GPU method).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/random.h"
+#include "core/multimerge_sort.h"
+
+namespace {
+
+using namespace gpm;
+
+void BM_Sort(benchmark::State& state, std::size_t keys_n, int ways,
+             core::SortMethod method) {
+  Rng rng(keys_n ^ ways);
+  std::vector<uint64_t> master(keys_n);
+  for (auto& k : master) k = rng.Next();
+  for (auto _ : state) {
+    std::vector<uint64_t> keys = master;
+    gpusim::SimParams params = bench::BenchDeviceParams();
+    gpusim::Device device(params);
+    core::SortOptions options;
+    options.method = method;
+    // `ways`-way merge: size segments so the segment count is `ways`.
+    options.segment_bytes = keys_n * sizeof(uint64_t) / ways;
+    options.p_size = 1 << 12;
+    auto r = core::SortKeys(&device, &keys, options);
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["segments"] = static_cast<double>(r.value().segments);
+    state.counters["subtasks"] = static_cast<double>(r.value().subtasks);
+    bench::ReportSimMillis(state, device.ElapsedMillis());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct {
+    core::SortMethod method;
+    const char* name;
+  } methods[] = {{core::SortMethod::kGammaMultiMerge, "multimerge-opt"},
+                 {core::SortMethod::kNaiveMerge, "naive"},
+                 {core::SortMethod::kXtr2Sort, "xtr2sort"},
+                 {core::SortMethod::kCpuSort, "cpu-sort"}};
+  struct {
+    std::size_t keys;
+    int ways;
+    const char* label;
+  } tasks[] = {{1u << 20, 4, "1M4W"},
+               {1u << 20, 8, "1M8W"},
+               {4u << 20, 8, "4M8W"},
+               {8u << 20, 16, "8M16W"}};
+  for (const auto& task : tasks) {
+    for (const auto& m : methods) {
+      std::size_t keys = task.keys;
+      int ways = task.ways;
+      core::SortMethod method = m.method;
+      bench::RegisterSim(std::string("Fig19/") + task.label + "/" + m.name,
+                         [keys, ways, method](benchmark::State& s) {
+                           BM_Sort(s, keys, ways, method);
+                         });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

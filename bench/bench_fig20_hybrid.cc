@@ -1,0 +1,107 @@
+// Fig. 20: the self-adaptive hybrid host-memory access strategy vs
+// unified-memory-only and zero-copy-only, across all three workloads.
+// Expected shape: hybrid beats both single modes (paper: ~47% over
+// UM-only, ~51% over ZC-only).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace gpm;
+
+core::GammaOptions PlacementOptions(core::GraphPlacement placement) {
+  core::GammaOptions options = bench::BenchGammaOptions();
+  options.access.placement = placement;
+  return options;
+}
+
+void BM_HybridSm(benchmark::State& state, std::string dataset,
+                 core::GraphPlacement placement) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  graph::Pattern q = graph::Pattern::SmQuery(1, g.num_labels());
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    auto r =
+        baselines::GammaMatch(&device, g, q, PlacementOptions(placement));
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["um_faults"] =
+        static_cast<double>(device.stats().um_page_faults);
+    state.counters["zc_tx"] =
+        static_cast<double>(device.stats().zc_transactions);
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+void BM_HybridKcl(benchmark::State& state, std::string dataset,
+                  core::GraphPlacement placement) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    auto r = baselines::GammaKClique(&device, g, 4,
+                                     PlacementOptions(placement));
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    state.counters["um_faults"] =
+        static_cast<double>(device.stats().um_page_faults);
+    state.counters["zc_tx"] =
+        static_cast<double>(device.stats().zc_transactions);
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+void BM_HybridFpm(benchmark::State& state, std::string dataset,
+                  core::GraphPlacement placement) {
+  const graph::Graph& g = bench::Dataset(dataset);
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    auto r = baselines::GammaFpm(&device, g, 3, g.num_edges() / 10,
+                                 PlacementOptions(placement));
+    if (!r.ok()) {
+      bench::SkipCrashed(state, r.status());
+      return;
+    }
+    bench::ReportSimMillis(state, r.value().sim_millis);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  struct {
+    core::GraphPlacement placement;
+    const char* name;
+  } modes[] = {{core::GraphPlacement::kHybridAdaptive, "hybrid"},
+               {core::GraphPlacement::kUnifiedOnly, "unified-only"},
+               {core::GraphPlacement::kZeroCopyOnly, "zerocopy-only"}};
+  for (const char* name : {"EA", "CP", "CL"}) {
+    for (const auto& m : modes) {
+      std::string ds = name;
+      core::GraphPlacement p = m.placement;
+      bench::RegisterSim(
+          std::string("Fig20/SM-q1/") + m.name + "/" + ds,
+          [ds, p](benchmark::State& s) { BM_HybridSm(s, ds, p); });
+      bench::RegisterSim(
+          std::string("Fig20/4CL/") + m.name + "/" + ds,
+          [ds, p](benchmark::State& s) { BM_HybridKcl(s, ds, p); });
+    }
+  }
+  for (const char* name : {"ER", "CP"}) {
+    for (const auto& m : modes) {
+      std::string ds = name;
+      core::GraphPlacement p = m.placement;
+      bench::RegisterSim(
+          std::string("Fig20/FPM-3/") + m.name + "/" + ds,
+          [ds, p](benchmark::State& s) { BM_HybridFpm(s, ds, p); });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks of the simulated memory subsystem itself: achievable
+// throughput of device reads, unified-memory hits, unified-memory cold
+// faults, prefetched pages, and zero-copy streams. These validate that the
+// cost model preserves the orderings GAMMA's design depends on:
+//   device ≈ UM-hit  >>  zero-copy  >>  UM cold faults,
+// with prefetch recovering most of the fault cost (§II-B, §IV).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "gpusim/host_array.h"
+
+namespace {
+
+using namespace gpm;
+
+constexpr std::size_t kBytes = 1 << 20;  // 1 MiB sweep per pattern
+constexpr std::size_t kAccessBytes = 256;
+
+void Report(benchmark::State& state, gpusim::Device& device) {
+  double ms = device.ElapsedMillis();
+  state.SetIterationTime(ms / 1e3);
+  state.counters["GBps"] =
+      static_cast<double>(kBytes) / 1e9 / (ms / 1e3);
+}
+
+void BM_DeviceRead(benchmark::State& state) {
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    device.LaunchKernel(64, [&](gpusim::WarpCtx& w, std::size_t) {
+      for (std::size_t i = 0; i < kBytes / 64 / kAccessBytes; ++i) {
+        w.DeviceRead(kAccessBytes);
+      }
+    });
+    Report(state, device);
+  }
+}
+
+void BM_UnifiedHit(benchmark::State& state) {
+  for (auto _ : state) {
+    gpusim::SimParams p = bench::BenchDeviceParams();
+    p.um_device_buffer_bytes = 2 * kBytes;  // everything stays resident
+    gpusim::Device device(p);
+    gpusim::HostArray<uint8_t> data(&device);
+    data.Resize(kBytes);
+    // Warm every page first (not timed: clock reset afterwards).
+    device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+      for (std::size_t off = 0; off < kBytes; off += 4096) {
+        w.UnifiedRead(data.region(), off, 1);
+      }
+    });
+    device.ResetClock();
+    device.LaunchKernel(64, [&](gpusim::WarpCtx& w, std::size_t t) {
+      std::size_t chunk = kBytes / 64;
+      for (std::size_t i = 0; i < chunk / kAccessBytes; ++i) {
+        w.UnifiedRead(data.region(), t * chunk + i * kAccessBytes,
+                      kAccessBytes);
+      }
+    });
+    Report(state, device);
+  }
+}
+
+void BM_UnifiedColdFault(benchmark::State& state) {
+  for (auto _ : state) {
+    gpusim::SimParams p = bench::BenchDeviceParams();
+    p.um_device_buffer_bytes = 2 * kBytes;  // no capacity evictions
+    gpusim::Device device(p);
+    gpusim::HostArray<uint8_t> data(&device);
+    data.Resize(kBytes);
+    device.ResetClock();
+    device.LaunchKernel(64, [&](gpusim::WarpCtx& w, std::size_t t) {
+      std::size_t chunk = kBytes / 64;
+      for (std::size_t i = 0; i < chunk / kAccessBytes; ++i) {
+        w.UnifiedRead(data.region(), t * chunk + i * kAccessBytes,
+                      kAccessBytes);
+      }
+    });
+    Report(state, device);
+  }
+}
+
+void BM_UnifiedPrefetched(benchmark::State& state) {
+  for (auto _ : state) {
+    gpusim::SimParams p = bench::BenchDeviceParams();
+    p.um_device_buffer_bytes = 2 * kBytes;
+    gpusim::Device device(p);
+    gpusim::HostArray<uint8_t> data(&device);
+    data.Resize(kBytes);
+    device.ResetClock();
+    std::size_t migrated = 0;
+    for (std::size_t off = 0; off < kBytes; off += 4096) {
+      migrated += device.unified().PrefetchPage(data.region(), off);
+    }
+    device.CopyHostToDevice(migrated);
+    device.LaunchKernel(64, [&](gpusim::WarpCtx& w, std::size_t t) {
+      std::size_t chunk = kBytes / 64;
+      for (std::size_t i = 0; i < chunk / kAccessBytes; ++i) {
+        w.UnifiedRead(data.region(), t * chunk + i * kAccessBytes,
+                      kAccessBytes);
+      }
+    });
+    Report(state, device);
+  }
+}
+
+void BM_ZeroCopyStream(benchmark::State& state) {
+  for (auto _ : state) {
+    gpusim::Device device(bench::BenchDeviceParams());
+    device.LaunchKernel(64, [&](gpusim::WarpCtx& w, std::size_t) {
+      for (std::size_t i = 0; i < kBytes / 64 / kAccessBytes; ++i) {
+        w.ZeroCopyRead(kAccessBytes);
+      }
+    });
+    Report(state, device);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::RegisterSim("MicroMemory/device-read", BM_DeviceRead);
+  bench::RegisterSim("MicroMemory/unified-hit", BM_UnifiedHit);
+  bench::RegisterSim("MicroMemory/unified-cold-fault", BM_UnifiedColdFault);
+  bench::RegisterSim("MicroMemory/unified-prefetched", BM_UnifiedPrefetched);
+  bench::RegisterSim("MicroMemory/zero-copy-stream", BM_ZeroCopyStream);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,265 @@
+// gamma_cli — command-line driver for the framework: pick a dataset proxy
+// (or load an edge list), a workload, and platform/framework options, run
+// it on the simulated device, and print results plus hardware counters.
+//
+// Examples:
+//   gamma_cli --dataset CL --task kcl --k 4
+//   gamma_cli --dataset CP --task sm --query 2 --placement zerocopy
+//   gamma_cli --dataset ER --task fpm --minsup 300 --strategy naive
+//   gamma_cli --graph my_edges.txt --task motif --k 3
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "algos/fpm.h"
+#include "algos/kclique.h"
+#include "algos/motif.h"
+#include "algos/subgraph_matching.h"
+#include "baselines/presets.h"
+#include "core/gamma.h"
+#include "graph/datasets.h"
+#include "graph/loader.h"
+#include "gpusim/device.h"
+
+namespace {
+
+using namespace gpm;
+
+struct CliOptions {
+  std::string dataset = "CP";
+  std::string graph_path;
+  std::string task = "kcl";
+  int k = 3;
+  int query = 1;
+  std::string pattern_text;
+  int fpm_edges = 3;
+  uint64_t minsup = 0;  // 0 = |E|/10
+  std::string placement = "hybrid";
+  std::string strategy = "dynamic";
+  bool pre_merge = true;
+  bool symmetric = false;
+  std::size_t device_mb = 16;
+  int warps = 64;
+  bool show_stats = false;
+  bool trace = false;
+};
+
+void Usage() {
+  std::puts(
+      "usage: gamma_cli [options]\n"
+      "  --dataset NAME     Table II proxy: CP CL CO EA ER CL8 SL5 UK IT TW\n"
+      "  --graph PATH       edge-list file instead of a proxy\n"
+      "  --task T           kcl | sm | fpm | motif\n"
+      "  --k N              clique/motif size (default 3)\n"
+      "  --query N          SM query 1..3 (Fig. 13)\n"
+      "  --pattern SPEC     custom SM pattern, e.g. 0-1,1-2,2-0;labels=0,1,*\n"
+      "  --fpm-edges N      FPM pattern size in edges (default 3)\n"
+      "  --minsup N         FPM support threshold (default |E|/10)\n"
+      "  --placement P      hybrid | unified | zerocopy | device | explicit\n"
+      "  --strategy S       dynamic | naive | prealloc (write strategy)\n"
+      "  --no-premerge      disable Optimization 2 grouping\n"
+      "  --symmetric        SM with automorphism symmetry breaking\n"
+      "  --device-mb N      simulated device memory (default 16)\n"
+      "  --warps N          resident warp slots (default 64)\n"
+      "  --stats            print hardware counters\n"
+      "  --trace            print per-kernel cycle breakdown");
+}
+
+bool Parse(int argc, char** argv, CliOptions* o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--dataset") {
+      o->dataset = next();
+    } else if (a == "--graph") {
+      o->graph_path = next();
+    } else if (a == "--task") {
+      o->task = next();
+    } else if (a == "--k") {
+      o->k = std::atoi(next());
+    } else if (a == "--query") {
+      o->query = std::atoi(next());
+    } else if (a == "--pattern") {
+      o->pattern_text = next();
+    } else if (a == "--fpm-edges") {
+      o->fpm_edges = std::atoi(next());
+    } else if (a == "--minsup") {
+      o->minsup = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--placement") {
+      o->placement = next();
+    } else if (a == "--strategy") {
+      o->strategy = next();
+    } else if (a == "--no-premerge") {
+      o->pre_merge = false;
+    } else if (a == "--symmetric") {
+      o->symmetric = true;
+    } else if (a == "--device-mb") {
+      o->device_mb = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--warps") {
+      o->warps = std::atoi(next());
+    } else if (a == "--stats") {
+      o->show_stats = true;
+    } else if (a == "--trace") {
+      o->trace = true;
+    } else if (a == "--help" || a == "-h") {
+      Usage();
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      Usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+core::GammaOptions FrameworkOptions(const CliOptions& o) {
+  core::GammaOptions options = baselines::GammaDefaultOptions();
+  if (o.placement == "unified") {
+    options.access.placement = core::GraphPlacement::kUnifiedOnly;
+  } else if (o.placement == "zerocopy") {
+    options.access.placement = core::GraphPlacement::kZeroCopyOnly;
+  } else if (o.placement == "device") {
+    options.access.placement = core::GraphPlacement::kDeviceResident;
+  } else if (o.placement == "explicit") {
+    options.access.placement = core::GraphPlacement::kExplicitTransfer;
+  }
+  if (o.strategy == "naive") {
+    options.extension.write_strategy = core::WriteStrategy::kNaiveTwoPass;
+  } else if (o.strategy == "prealloc") {
+    options.extension.write_strategy = core::WriteStrategy::kPreAlloc;
+  }
+  options.extension.pre_merge = o.pre_merge;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions o;
+  if (!Parse(argc, argv, &o)) return 1;
+
+  graph::Graph g;
+  if (!o.graph_path.empty()) {
+    auto loaded = graph::LoadEdgeListText(o.graph_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded).value();
+  } else {
+    g = graph::MakeDataset(o.dataset);
+  }
+  g.EnsureEdgeIndex();
+  std::printf("graph: %s\n", g.DebugString().c_str());
+
+  gpusim::SimParams params;
+  params.device_memory_bytes = o.device_mb << 20;
+  params.um_device_buffer_bytes = params.device_memory_bytes / 8;
+  params.num_warp_slots = o.warps;
+  gpusim::Device device(params);
+  if (o.trace) device.set_trace_enabled(true);
+  core::GammaEngine engine(&device, &g, FrameworkOptions(o));
+  if (Status st = engine.Prepare(); !st.ok()) {
+    std::fprintf(stderr, "prepare: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (o.task == "kcl") {
+    auto r = algos::CountKCliques(&engine, o.k);
+    if (!r.ok()) {
+      std::fprintf(stderr, "kcl: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%d-cliques: %llu (%.3f ms simulated)\n", o.k,
+                static_cast<unsigned long long>(r.value().cliques),
+                r.value().sim_millis);
+  } else if (o.task == "sm") {
+    graph::Pattern q;
+    if (!o.pattern_text.empty()) {
+      auto parsed = graph::ParsePattern(o.pattern_text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "pattern: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      q = parsed.value();
+    } else {
+      q = graph::Pattern::SmQuery(o.query, g.num_labels());
+    }
+    std::printf("query: %s\n", q.DebugString().c_str());
+    auto r = o.symmetric ? algos::MatchWojSymmetric(&engine, q)
+                         : algos::MatchWoj(&engine, q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "sm: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("embeddings: %llu, instances: %llu (%.3f ms simulated)\n",
+                static_cast<unsigned long long>(r.value().embeddings),
+                static_cast<unsigned long long>(r.value().instances),
+                r.value().sim_millis);
+  } else if (o.task == "fpm") {
+    uint64_t minsup = o.minsup ? o.minsup : g.num_edges() / 10;
+    auto r = algos::MineFrequentPatterns(
+        &engine, {.max_edges = o.fpm_edges, .min_support = minsup});
+    if (!r.ok()) {
+      std::fprintf(stderr, "fpm: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    auto maximal = r.value().patterns.MaximalPatterns();
+    std::printf("frequent patterns: %zu (%zu maximal), sup >= %llu "
+                "(%.3f ms simulated)\n",
+                r.value().patterns.size(), maximal.size(),
+                static_cast<unsigned long long>(minsup),
+                r.value().sim_millis);
+    for (const auto& e : r.value().patterns.TopPatterns()) {
+      std::printf("  sup=%8llu  %s\n",
+                  static_cast<unsigned long long>(e.support),
+                  e.exemplar.DebugString().c_str());
+    }
+  } else if (o.task == "motif") {
+    auto r = algos::CountMotifs(&engine, o.k);
+    if (!r.ok()) {
+      std::fprintf(stderr, "motif: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%d-vertex motifs (%.3f ms simulated):\n", o.k,
+                r.value().sim_millis);
+    for (const auto& [pattern, count] : r.value().motifs) {
+      std::printf("  %12llu x %s\n",
+                  static_cast<unsigned long long>(count),
+                  pattern.DebugString().c_str());
+    }
+  } else {
+    std::fprintf(stderr, "unknown task: %s\n", o.task.c_str());
+    Usage();
+    return 1;
+  }
+
+  if (o.trace) {
+    // Aggregate the trace by kernel name.
+    std::map<std::string, std::pair<std::size_t, double>> by_name;
+    for (const auto& rec : device.kernel_trace()) {
+      auto& agg = by_name[rec.name];
+      agg.first += 1;
+      agg.second += rec.total_cycles;
+    }
+    std::printf("kernel breakdown:\n");
+    for (const auto& [name, agg] : by_name) {
+      std::printf("  %-22s %6zu launches  %10.3f ms\n", name.c_str(),
+                  agg.first, agg.second * 1e-6);
+    }
+  }
+  if (o.show_stats) {
+    std::printf("device counters: %s\n", device.stats().ToString().c_str());
+    std::printf("peak device: %.2f MiB, peak host: %.2f MiB\n",
+                device.PeakDeviceBytes() / 1048576.0,
+                device.host_tracker().peak_bytes() / 1048576.0);
+  }
+  return 0;
+}

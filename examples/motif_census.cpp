@@ -1,0 +1,43 @@
+// Motif census: counts all connected 3-vertex and 4-vertex induced shapes
+// in an email-network proxy using GAMMA's union-neighborhood vertex
+// extension plus canonical aggregation — the "motif counting" GPM task the
+// paper lists alongside SM/FPM/kCL (§III).
+#include <cstdio>
+
+#include "algos/motif.h"
+#include "core/gamma.h"
+#include "graph/datasets.h"
+#include "gpusim/device.h"
+
+int main() {
+  using namespace gpm;
+
+  graph::Graph g = graph::MakeDataset("ER");  // small email proxy
+  std::printf("email graph proxy: %s\n\n", g.DebugString().c_str());
+
+  gpusim::SimParams params;
+  params.device_memory_bytes = 32ull << 20;
+  for (int k : {3, 4}) {
+    gpusim::Device device(params);
+    core::GammaEngine engine(&device, &g, {});
+    if (Status st = engine.Prepare(); !st.ok()) {
+      std::fprintf(stderr, "prepare: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto census = algos::CountMotifs(&engine, k);
+    if (!census.ok()) {
+      std::fprintf(stderr, "motifs: %s\n",
+                   census.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%d-vertex motifs (%.3f ms simulated):\n", k,
+                census.value().sim_millis);
+    for (const auto& [pattern, count] : census.value().motifs) {
+      std::printf("  %12llu  x  %s\n",
+                  static_cast<unsigned long long>(count),
+                  pattern.DebugString().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "algos/fpm.h"
+
+#include "common/logging.h"
+
+namespace gpm::algos {
+
+Result<FpmResult> MineFrequentPatterns(core::GammaEngine* engine,
+                                       const FpmOptions& options) {
+  GAMMA_CHECK(options.max_edges >= 1) << "need at least one iteration";
+  FpmResult result;
+  gpusim::Device* device = engine->device();
+  const double start = device->now_cycles();
+
+  auto table = engine->InitEdgeTable();
+  if (!table.ok()) return table.status();
+  core::EmbeddingTable* et = table.value().get();
+
+  for (int i = 1; i <= options.max_edges; ++i) {
+    // PT = PT ∪ Aggregation(ET, m_f)
+    auto agg = engine->Aggregation(*et, &result.patterns);
+    if (!agg.ok()) return agg.status();
+    // Filtering(ET, PT, sup_min): invalidate infrequent patterns and drop
+    // their instances.
+    result.patterns.InvalidateBelow(options.min_support);
+    engine->Filtering(et, agg.value().codes, result.patterns);
+    result.patterns.EraseInvalid();
+    result.aggregations.push_back(std::move(agg).value());
+
+    if (i < options.max_edges) {
+      core::EdgeExtensionSpec spec;
+      spec.canonical_only = true;
+      auto stats = engine->EdgeExtension(et, spec);
+      if (!stats.ok()) return stats.status();
+      result.steps.push_back(stats.value());
+    }
+  }
+
+  result.sim_millis =
+      device->params().CyclesToMillis(device->now_cycles() - start);
+  return result;
+}
+
+}  // namespace gpm::algos

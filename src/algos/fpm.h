@@ -1,0 +1,34 @@
+#ifndef GAMMA_ALGOS_FPM_H_
+#define GAMMA_ALGOS_FPM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gamma.h"
+
+namespace gpm::algos {
+
+struct FpmOptions {
+  /// Mine patterns of up to this many edges (the paper's length l).
+  int max_edges = 3;
+  /// Support threshold sup_min.
+  uint64_t min_support = 2;
+};
+
+struct FpmResult {
+  core::PatternTable patterns;  ///< all frequent patterns (1..l edges)
+  double sim_millis = 0;
+  std::vector<core::ExtensionStats> steps;
+  std::vector<core::AggregationResult> aggregations;
+};
+
+/// Frequent pattern mining (Algorithm 2): starting from all length-1 edge
+/// embeddings, alternate aggregation (pattern support), filtering (drop
+/// instances of infrequent patterns), and edge extension.
+Result<FpmResult> MineFrequentPatterns(core::GammaEngine* engine,
+                                       const FpmOptions& options);
+
+}  // namespace gpm::algos
+
+#endif  // GAMMA_ALGOS_FPM_H_

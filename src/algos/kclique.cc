@@ -1,0 +1,57 @@
+#include "algos/kclique.h"
+
+#include "common/logging.h"
+#include "graph/reorder.h"
+
+namespace gpm::algos {
+
+Result<KCliqueResult> CountKCliques(core::GammaEngine* engine, int k,
+                                    bool count_only_last) {
+  GAMMA_CHECK(k >= 2) << "k must be at least 2";
+  KCliqueResult result;
+  gpusim::Device* device = engine->device();
+  const double start = device->now_cycles();
+
+  auto table = engine->InitVertexTable();
+  if (!table.ok()) return table.status();
+  core::EmbeddingTable* et = table.value().get();
+
+  const bool saved_count_only =
+      engine->options().extension.count_only;
+  for (int depth = 1; depth < k; ++depth) {
+    core::VertexExtensionSpec spec;
+    // A clique candidate must be adjacent to every matched vertex.
+    for (int j = 0; j < depth; ++j) spec.intersect_positions.push_back(j);
+    spec.require_ascending = true;  // enumerate sorted tuples only
+    spec.enforce_injective = true;
+    const bool final_level = depth == k - 1;
+    engine->mutable_options().extension.count_only =
+        saved_count_only || (count_only_last && final_level);
+    auto stats = engine->VertexExtension(et, spec);
+    engine->mutable_options().extension.count_only = saved_count_only;
+    if (!stats.ok()) return stats.status();
+    result.steps.push_back(stats.value());
+    if (final_level) result.cliques = stats.value().results;
+  }
+  if (!count_only_last) result.cliques = et->num_embeddings();
+
+  result.sim_millis =
+      device->params().CyclesToMillis(device->now_cycles() - start);
+  return result;
+}
+
+Result<KCliqueResult> CountKCliquesOriented(
+    gpusim::Device* device, const graph::Graph& g, int k,
+    const core::GammaOptions& options) {
+  // Relabeling happens host-side before the run; charge one pass over the
+  // CSR for the peel + rebuild.
+  graph::Graph oriented =
+      graph::Reorder(g, graph::ReorderStrategy::kDegeneracy);
+  device->ChargeHostWork(static_cast<double>(g.num_arcs()));
+  core::GammaEngine engine(device, &oriented, options);
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  return CountKCliques(&engine, k);
+}
+
+}  // namespace gpm::algos

@@ -1,0 +1,48 @@
+#ifndef GAMMA_ALGOS_KCLIQUE_H_
+#define GAMMA_ALGOS_KCLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gamma.h"
+
+namespace gpm::algos {
+
+struct KCliqueResult {
+  uint64_t cliques = 0;  ///< k-cliques, each counted once
+  double sim_millis = 0;
+  std::vector<core::ExtensionStats> steps;
+};
+
+/// k-clique counting/listing on GAMMA: vertex extension intersecting the
+/// adjacency of every matched vertex, with ascending vertex ids for
+/// dedup-free enumeration (each clique appears exactly once as its sorted
+/// vertex tuple). With `count_only_last`, the final extension tallies
+/// cliques without materializing the last column (counting workloads
+/// never read it).
+Result<KCliqueResult> CountKCliques(core::GammaEngine* engine, int k,
+                                    bool count_only_last);
+inline Result<KCliqueResult> CountKCliques(core::GammaEngine* engine,
+                                           int k) {
+  return CountKCliques(engine, k, /*count_only_last=*/false);
+}
+
+/// Triangle counting = 3-clique counting.
+inline Result<KCliqueResult> CountTriangles(core::GammaEngine* engine) {
+  return CountKCliques(engine, 3);
+}
+
+/// k-clique counting with degeneracy orientation: relabels the graph in
+/// k-core peeling order first, so ascending-id enumeration bounds every
+/// forward neighborhood by the graph's degeneracy instead of its maximum
+/// degree — the standard mitigation for hub blow-up on skewed graphs.
+/// Builds its own engine over the reordered graph on `device`.
+Result<KCliqueResult> CountKCliquesOriented(gpusim::Device* device,
+                                            const graph::Graph& g, int k,
+                                            const core::GammaOptions&
+                                                options);
+
+}  // namespace gpm::algos
+
+#endif  // GAMMA_ALGOS_KCLIQUE_H_

@@ -1,0 +1,35 @@
+#ifndef GAMMA_ALGOS_MOTIF_H_
+#define GAMMA_ALGOS_MOTIF_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gamma.h"
+#include "graph/pattern.h"
+
+namespace gpm::algos {
+
+struct MotifResult {
+  /// Canonical code -> (exemplar pattern, count of connected induced
+  /// subgraphs of that shape).
+  std::vector<std::pair<graph::Pattern, uint64_t>> motifs;
+  double sim_millis = 0;
+};
+
+/// Counts connected k-vertex motifs (unlabeled shapes) with GAMMA's
+/// union-neighborhood vertex extension plus aggregation. Each connected
+/// vertex set is enumerated once per connected-prefix ordering, so per
+/// shape the embedding count is divided by the shape's number of
+/// connected-prefix orderings.
+Result<MotifResult> CountMotifs(core::GammaEngine* engine, int k);
+
+/// Number of vertex orderings of `p` whose every prefix is connected —
+/// the per-instance multiplicity of union-extension enumeration. Exposed
+/// for tests.
+uint64_t CountConnectedOrderings(const graph::Pattern& p);
+
+}  // namespace gpm::algos
+
+#endif  // GAMMA_ALGOS_MOTIF_H_

@@ -1,0 +1,61 @@
+#ifndef GAMMA_ALGOS_SUBGRAPH_MATCHING_H_
+#define GAMMA_ALGOS_SUBGRAPH_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gamma.h"
+#include "core/plan.h"
+#include "graph/pattern.h"
+
+namespace gpm::algos {
+
+/// Outcome of a subgraph-matching run.
+struct SmResult {
+  uint64_t embeddings = 0;  ///< ordered matches (query-vertex assignments)
+  uint64_t instances = 0;   ///< embeddings / |Aut(query)|
+  double sim_millis = 0;    ///< simulated time consumed by the run
+  std::vector<core::ExtensionStats> steps;
+};
+
+/// Worst-case-optimal-join subgraph matching (Algorithm 1): one query
+/// vertex per iteration via vertex extension; extensions intersect the
+/// adjacency lists of all matched backward neighbors and are filtered by
+/// label immediately (the pruning-inside-extension the paper describes).
+/// Uses the structural matching order.
+Result<SmResult> MatchWoj(core::GammaEngine* engine,
+                          const graph::Pattern& query);
+
+/// WOJ matching with an explicit plan (see core/plan.h): lets callers pick
+/// the cardinality-based greedy order.
+Result<SmResult> MatchWojWithPlan(core::GammaEngine* engine,
+                                  const graph::Pattern& query,
+                                  const core::WojPlan& plan);
+
+/// WOJ matching with automorphism symmetry breaking (core/symmetry.h):
+/// ordering restrictions make each instance appear exactly once, so the
+/// embedding table holds `instances` rows instead of |Aut| times as many —
+/// the pattern-aware trick CPU frameworks like Peregrine use, here built
+/// from GAMMA's primitives.
+Result<SmResult> MatchWojSymmetric(core::GammaEngine* engine,
+                                   const graph::Pattern& query);
+
+/// Binary-join subgraph matching (query-edge-at-a-time) via edge
+/// extension: each iteration matches the next query edge; candidates must
+/// extend to an isomorphism of the query's edge prefix.
+Result<SmResult> MatchBinaryJoin(core::GammaEngine* engine,
+                                 const graph::Pattern& query);
+
+/// True when the edge-id sequence `edges` (in order) can be mapped to the
+/// first `edges.size()` edges of `query_edges` (pairs over query vertices,
+/// with `query` supplying labels) by a consistent injective vertex
+/// assignment. Exposed for tests.
+bool MatchesQueryPrefix(const graph::Graph& g,
+                        const std::vector<graph::EdgeId>& edges,
+                        const graph::Pattern& query,
+                        const std::vector<std::pair<int, int>>& query_edges);
+
+}  // namespace gpm::algos
+
+#endif  // GAMMA_ALGOS_SUBGRAPH_MATCHING_H_

@@ -1,0 +1,79 @@
+#ifndef GAMMA_BASELINES_CPU_REF_H_
+#define GAMMA_BASELINES_CPU_REF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/pattern_table.h"
+#include "graph/csr.h"
+#include "graph/pattern.h"
+
+namespace gpm::baselines {
+
+/// Cost model of a CPU execution: operations are counted by the reference
+/// algorithms and converted to simulated milliseconds. Single-threaded
+/// systems use threads = 1; multi-threaded frameworks divide by
+/// threads x efficiency. The 1 GHz simulated clock matches gpusim's.
+struct CpuModel {
+  int threads = 1;
+  double cycles_per_op = 6.0;
+  double efficiency = 0.85;
+  /// Memory touched per op; with `bandwidth_bytes_per_cycle` it gives the
+  /// DRAM floor multi-threaded scans cannot go below — threads share one
+  /// memory system, so op throughput stops scaling once bandwidth-bound.
+  double bytes_per_op = 8.0;
+  double bandwidth_bytes_per_cycle = 24.0;  // ~24 GB/s effective
+
+  double OpsToMillis(uint64_t ops) const {
+    double denom =
+        threads <= 1 ? 1.0 : static_cast<double>(threads) * efficiency;
+    double compute = static_cast<double>(ops) * cycles_per_op / denom;
+    double memory = static_cast<double>(ops) * bytes_per_op /
+                    bandwidth_bytes_per_cycle;
+    return std::max(compute, memory) * 1e-6;
+  }
+};
+
+struct CpuRunResult {
+  uint64_t count = 0;  ///< result cardinality (cliques, embeddings, ...)
+  uint64_t ops = 0;    ///< counted work units
+  double sim_millis = 0;
+};
+
+struct CpuFpmResult {
+  core::PatternTable patterns;
+  uint64_t ops = 0;
+  double sim_millis = 0;
+};
+
+/// k-clique counting by ordered DFS over sorted adjacency intersections
+/// (each clique visited once, ascending vertex ids). Ops = elements
+/// scanned during intersections.
+CpuRunResult CpuKClique(const graph::Graph& g, int k, const CpuModel& model);
+
+/// Subgraph-matching embedding count by backtracking (ops = candidate
+/// probes). `symmetry_breaking` restricts to one representative per
+/// automorphism orbit and scales the count back up, modeling
+/// pattern-aware systems like Peregrine.
+CpuRunResult CpuSubgraphMatch(const graph::Graph& g,
+                              const graph::Pattern& query,
+                              const CpuModel& model,
+                              bool symmetry_breaking);
+
+/// Embedding-centric FPM (Pangolin/GraphMiner style): BFS levels of edge
+/// embeddings with canonicality dedup, aggregation by canonical code,
+/// support filtering.
+CpuFpmResult CpuFpmEmbeddingCentric(const graph::Graph& g, int max_edges,
+                                    uint64_t min_support,
+                                    const CpuModel& model);
+
+/// Pattern-centric FPM (Peregrine style): candidate patterns are extended
+/// shapes of frequent patterns; each candidate's support is counted by
+/// matching, with no embedding materialization.
+CpuFpmResult CpuFpmPatternCentric(const graph::Graph& g, int max_edges,
+                                  uint64_t min_support,
+                                  const CpuModel& model);
+
+}  // namespace gpm::baselines
+
+#endif  // GAMMA_BASELINES_CPU_REF_H_

@@ -1,0 +1,146 @@
+#include "baselines/systems.h"
+
+#include "algos/fpm.h"
+#include "algos/kclique.h"
+#include "algos/subgraph_matching.h"
+#include "baselines/presets.h"
+
+namespace gpm::baselines {
+namespace {
+
+GpuRunResult Snapshot(gpusim::Device* device, uint64_t count,
+                      double sim_millis) {
+  GpuRunResult r;
+  r.count = count;
+  r.sim_millis = sim_millis;
+  r.peak_device_bytes = device->PeakDeviceBytes();
+  r.peak_host_bytes = device->host_tracker().peak_bytes();
+  return r;
+}
+
+// In-core systems size their write buffers from whatever device memory the
+// graph left free (they have no host spill to fall back on).
+void FitPoolToFreeMemory(core::GammaEngine* engine,
+                         gpusim::Device* device) {
+  std::size_t free_bytes = device->memory().available_bytes();
+  std::size_t pool = std::max<std::size_t>(64 << 10, free_bytes / 2);
+  engine->mutable_options().extension.pool_bytes =
+      std::min(engine->options().extension.pool_bytes, pool);
+}
+
+}  // namespace
+
+CpuModel PangolinStModel() { return {.threads = 1, .cycles_per_op = 8.0}; }
+
+CpuModel PeregrineModel() {
+  return {.threads = 32, .cycles_per_op = 8.0, .efficiency = 0.8};
+}
+
+CpuModel GraphMinerModel() {
+  return {.threads = 32, .cycles_per_op = 4.0, .efficiency = 0.85};
+}
+
+Result<GpuRunResult> PangolinGpuKClique(gpusim::Device* device,
+                                        const graph::Graph& g, int k) {
+  core::GammaEngine engine(device, &g, PangolinGpuOptions());
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  FitPoolToFreeMemory(&engine, device);
+  auto run = algos::CountKCliques(&engine, k);
+  if (!run.ok()) return run.status();
+  return Snapshot(device, run.value().cliques, run.value().sim_millis);
+}
+
+Result<GpuRunResult> PangolinGpuFpm(gpusim::Device* device,
+                                    const graph::Graph& g, int max_edges,
+                                    uint64_t min_support) {
+  core::GammaEngine engine(device, &g, PangolinGpuOptions());
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  FitPoolToFreeMemory(&engine, device);
+  auto run = algos::MineFrequentPatterns(
+      &engine, {.max_edges = max_edges, .min_support = min_support});
+  if (!run.ok()) return run.status();
+  return Snapshot(device, run.value().patterns.size(),
+                  run.value().sim_millis);
+}
+
+Result<GpuRunResult> GsiMatch(gpusim::Device* device, const graph::Graph& g,
+                              const graph::Pattern& query) {
+  core::GammaEngine engine(device, &g, GsiOptions());
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  FitPoolToFreeMemory(&engine, device);
+  auto run = algos::MatchWoj(&engine, query);
+  if (!run.ok()) return run.status();
+  return Snapshot(device, run.value().embeddings, run.value().sim_millis);
+}
+
+Result<GpuRunResult> GammaKClique(gpusim::Device* device,
+                                  const graph::Graph& g, int k,
+                                  const core::GammaOptions& options) {
+  core::GammaEngine engine(device, &g, options);
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  auto run = algos::CountKCliques(&engine, k);
+  if (!run.ok()) return run.status();
+  return Snapshot(device, run.value().cliques, run.value().sim_millis);
+}
+
+Result<GpuRunResult> GammaMatch(gpusim::Device* device,
+                                const graph::Graph& g,
+                                const graph::Pattern& query,
+                                const core::GammaOptions& options) {
+  core::GammaEngine engine(device, &g, options);
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  auto run = algos::MatchWoj(&engine, query);
+  if (!run.ok()) return run.status();
+  return Snapshot(device, run.value().embeddings, run.value().sim_millis);
+}
+
+Result<GpuRunResult> GammaFpm(gpusim::Device* device, const graph::Graph& g,
+                              int max_edges, uint64_t min_support,
+                              const core::GammaOptions& options) {
+  core::GammaEngine engine(device, &g, options);
+  Status st = engine.Prepare();
+  if (!st.ok()) return st;
+  auto run = algos::MineFrequentPatterns(
+      &engine, {.max_edges = max_edges, .min_support = min_support});
+  if (!run.ok()) return run.status();
+  return Snapshot(device, run.value().patterns.size(),
+                  run.value().sim_millis);
+}
+
+CpuRunResult PeregrineKClique(const graph::Graph& g, int k) {
+  return CpuKClique(g, k, PeregrineModel());
+}
+
+CpuRunResult PeregrineMatch(const graph::Graph& g,
+                            const graph::Pattern& query) {
+  return CpuSubgraphMatch(g, query, PeregrineModel(),
+                          /*symmetry_breaking=*/true);
+}
+
+CpuFpmResult PeregrineFpm(const graph::Graph& g, int max_edges,
+                          uint64_t min_support) {
+  return CpuFpmPatternCentric(g, max_edges, min_support, PeregrineModel());
+}
+
+CpuRunResult PangolinStKClique(const graph::Graph& g, int k) {
+  return CpuKClique(g, k, PangolinStModel());
+}
+
+CpuFpmResult PangolinStFpm(const graph::Graph& g, int max_edges,
+                           uint64_t min_support) {
+  return CpuFpmEmbeddingCentric(g, max_edges, min_support,
+                                PangolinStModel());
+}
+
+CpuFpmResult GraphMinerFpm(const graph::Graph& g, int max_edges,
+                           uint64_t min_support) {
+  return CpuFpmEmbeddingCentric(g, max_edges, min_support,
+                                GraphMinerModel());
+}
+
+}  // namespace gpm::baselines

@@ -1,0 +1,73 @@
+#ifndef GAMMA_BASELINES_SYSTEMS_H_
+#define GAMMA_BASELINES_SYSTEMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/cpu_ref.h"
+#include "common/status.h"
+#include "core/gamma.h"
+#include "graph/pattern.h"
+#include "gpusim/device.h"
+
+namespace gpm::baselines {
+
+/// Outcome of one GPU-system run (GAMMA / Pangolin-GPU / GSI). A
+/// kDeviceOutOfMemory status is the simulated counterpart of the crashes
+/// the paper reports for the in-core systems on large graphs.
+struct GpuRunResult {
+  uint64_t count = 0;
+  double sim_millis = 0;
+  std::size_t peak_device_bytes = 0;
+  std::size_t peak_host_bytes = 0;
+};
+
+/// CPU system models as configured for the paper's comparisons.
+CpuModel PangolinStModel();    ///< single-thread Pangolin
+CpuModel PeregrineModel();     ///< 32-thread pattern-aware CPU framework
+CpuModel GraphMinerModel();    ///< 32-thread specialized CPU library
+
+// -- Pangolin-GPU (in-core GPM framework) -----------------------------------
+
+Result<GpuRunResult> PangolinGpuKClique(gpusim::Device* device,
+                                        const graph::Graph& g, int k);
+Result<GpuRunResult> PangolinGpuFpm(gpusim::Device* device,
+                                    const graph::Graph& g, int max_edges,
+                                    uint64_t min_support);
+
+// -- GSI (in-core GPU subgraph matching) -------------------------------------
+
+Result<GpuRunResult> GsiMatch(gpusim::Device* device, const graph::Graph& g,
+                              const graph::Pattern& query);
+
+// -- GAMMA (for symmetry with the baselines) ---------------------------------
+
+Result<GpuRunResult> GammaKClique(gpusim::Device* device,
+                                  const graph::Graph& g, int k,
+                                  const core::GammaOptions& options);
+Result<GpuRunResult> GammaMatch(gpusim::Device* device,
+                                const graph::Graph& g,
+                                const graph::Pattern& query,
+                                const core::GammaOptions& options);
+Result<GpuRunResult> GammaFpm(gpusim::Device* device, const graph::Graph& g,
+                              int max_edges, uint64_t min_support,
+                              const core::GammaOptions& options);
+
+// -- CPU systems --------------------------------------------------------------
+
+CpuRunResult PeregrineKClique(const graph::Graph& g, int k);
+CpuRunResult PeregrineMatch(const graph::Graph& g,
+                            const graph::Pattern& query);
+CpuFpmResult PeregrineFpm(const graph::Graph& g, int max_edges,
+                          uint64_t min_support);
+
+CpuRunResult PangolinStKClique(const graph::Graph& g, int k);
+CpuFpmResult PangolinStFpm(const graph::Graph& g, int max_edges,
+                           uint64_t min_support);
+
+CpuFpmResult GraphMinerFpm(const graph::Graph& g, int max_edges,
+                           uint64_t min_support);
+
+}  // namespace gpm::baselines
+
+#endif  // GAMMA_BASELINES_SYSTEMS_H_

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+namespace gpm {
+namespace internal_logging {
+namespace {
+
+const char* SeverityTag(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "I";
+    case Severity::kWarning:
+      return "W";
+    case Severity::kError:
+      return "E";
+    case Severity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::~LogMessage() {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), file_,
+               line_, stream_.str().c_str());
+  if (severity_ == Severity::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace gpm

@@ -1,0 +1,58 @@
+#ifndef GAMMA_COMMON_LOGGING_H_
+#define GAMMA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gpm {
+namespace internal_logging {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+/// Stream-style log sink; writes the accumulated message on destruction and
+/// aborts the process for kFatal. Used only through the macros below.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Severity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace gpm
+
+#define GAMMA_LOG(severity)                                        \
+  ::gpm::internal_logging::LogMessage(                           \
+      ::gpm::internal_logging::Severity::k##severity, __FILE__,  \
+      __LINE__)
+
+/// CHECK aborts with a message when `cond` is false. Used for programmer
+/// errors (invariant violations), not for recoverable conditions.
+#define GAMMA_CHECK(cond)                                 \
+  if (!(cond))                                            \
+  GAMMA_LOG(Fatal) << "Check failed: " #cond " "
+
+#define GAMMA_CHECK_OK(status_expr)                              \
+  do {                                                           \
+    const ::gpm::Status _st = (status_expr);                   \
+    if (!_st.ok())                                               \
+      GAMMA_LOG(Fatal) << "Status not OK: " << _st.ToString();   \
+  } while (0)
+
+#endif  // GAMMA_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+#ifndef GAMMA_COMMON_SCAN_H_
+#define GAMMA_COMMON_SCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gpm {
+
+/// Exclusive prefix sum: out[i] = sum(in[0..i)). Returns the total.
+/// Mirrors the GPU prefix-scan primitive GAMMA uses for compaction and
+/// write positioning; the host version is the functional reference.
+template <typename T>
+T ExclusiveScan(const std::vector<T>& in, std::vector<T>* out) {
+  out->resize(in.size());
+  T running = T{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    (*out)[i] = running;
+    running += in[i];
+  }
+  return running;
+}
+
+/// In-place exclusive prefix sum. Returns the total.
+template <typename T>
+T ExclusiveScanInPlace(std::vector<T>* v) {
+  T running = T{};
+  for (auto& x : *v) {
+    T next = running + x;
+    x = running;
+    running = next;
+  }
+  return running;
+}
+
+/// Inclusive prefix sum: out[i] = sum(in[0..i]).
+template <typename T>
+void InclusiveScan(const std::vector<T>& in, std::vector<T>* out) {
+  out->resize(in.size());
+  T running = T{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    running += in[i];
+    (*out)[i] = running;
+  }
+}
+
+}  // namespace gpm
+
+#endif  // GAMMA_COMMON_SCAN_H_

@@ -1,0 +1,97 @@
+#ifndef GAMMA_COMMON_STATUS_H_
+#define GAMMA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gpm {
+
+/// Error categories used throughout GAMMA.
+///
+/// GAMMA does not use exceptions; operations that can fail return a `Status`
+/// or a `Result<T>`. The most important code for the reproduction is
+/// `kDeviceOutOfMemory`: in-core baselines (Pangolin-GPU, GSI) surface it on
+/// graphs whose working set exceeds simulated device memory, reproducing the
+/// "crashes" the paper reports for those systems on large datasets.
+enum class ErrorCode {
+  kOk = 0,
+  kDeviceOutOfMemory,
+  kHostOutOfMemory,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name, e.g. "DEVICE_OUT_OF_MEMORY".
+const char* ErrorCodeName(ErrorCode code);
+
+/// A success-or-error value, modeled after absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status DeviceOutOfMemory(std::string m) {
+    return Status(ErrorCode::kDeviceOutOfMemory, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(ErrorCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(ErrorCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(ErrorCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(ErrorCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// A value-or-error, modeled after absl::StatusOr.
+///
+/// `ok()` must be checked before calling `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse:
+  /// `return buf;` and `return Status::DeviceOutOfMemory(...)`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace gpm
+
+#endif  // GAMMA_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef GAMMA_COMMON_TIMER_H_
+#define GAMMA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gpm {
+
+/// Wall-clock timer for host-side (real) measurements. Simulated GPU time is
+/// tracked separately by gpusim::SimClock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gpm
+
+#endif  // GAMMA_COMMON_TIMER_H_

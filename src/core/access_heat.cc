@@ -1,0 +1,99 @@
+#include "core/access_heat.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gpm::core {
+namespace {
+
+// Top-`n` page indices of `score`, highest first, zero-score excluded.
+std::vector<uint32_t> TopOf(const std::vector<double>& score,
+                            std::size_t n) {
+  std::vector<uint32_t> pages;
+  pages.reserve(score.size());
+  for (uint32_t p = 0; p < score.size(); ++p) {
+    if (score[p] > 0) pages.push_back(p);
+  }
+  n = std::min(n, pages.size());
+  std::partial_sort(pages.begin(), pages.begin() + n, pages.end(),
+                    [&score](uint32_t a, uint32_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  pages.resize(n);
+  return pages;
+}
+
+}  // namespace
+
+AccessHeatTracker::AccessHeatTracker(std::size_t space_bytes,
+                                     std::size_t page_bytes)
+    : page_bytes_(page_bytes) {
+  GAMMA_CHECK(page_bytes > 0) << "page size must be positive";
+  std::size_t pages = (space_bytes + page_bytes - 1) / page_bytes;
+  spatial_.assign(pages, 0);
+  temporal_.assign(pages, 0);
+  heat_.assign(pages, 0);
+}
+
+void AccessHeatTracker::BeginExtension() {
+  // Roll the previous extension's SpatialLoc into the temporal history.
+  if (extension_index_ > 0) {
+    prev_spatial_ = spatial_;
+    for (std::size_t p = 0; p < spatial_.size(); ++p) {
+      temporal_[p] += spatial_[p];
+    }
+    history_total_ += current_total_;
+  }
+  std::fill(spatial_.begin(), spatial_.end(), 0.0);
+  current_total_ = 0;
+  ++extension_index_;
+}
+
+void AccessHeatTracker::AddPlannedAccess(std::size_t offset,
+                                         std::size_t bytes, uint64_t times) {
+  if (bytes == 0 || times == 0) return;
+  std::size_t first = offset / page_bytes_;
+  std::size_t last = (offset + bytes - 1) / page_bytes_;
+  for (std::size_t p = first; p <= last && p < spatial_.size(); ++p) {
+    std::size_t lo = std::max(offset, p * page_bytes_);
+    std::size_t hi = std::min(offset + bytes, (p + 1) * page_bytes_);
+    double contribution = static_cast<double>(hi - lo) * times;
+    spatial_[p] += contribution;
+    current_total_ += contribution;
+  }
+}
+
+const std::vector<double>& AccessHeatTracker::FinalizeExtension() {
+  GAMMA_CHECK(extension_index_ > 0) << "FinalizeExtension before Begin";
+  double denom = current_total_ + history_total_;
+  double w_spatial = denom > 0 ? current_total_ / denom : 1.0;
+  double past = std::max(1, extension_index_ - 1);
+  for (std::size_t p = 0; p < heat_.size(); ++p) {
+    heat_[p] =
+        w_spatial * spatial_[p] + (1 - w_spatial) * temporal_[p] / past;
+  }
+  return heat_;
+}
+
+std::vector<uint32_t> AccessHeatTracker::TopPages(std::size_t n) const {
+  return TopOf(heat_, n);
+}
+
+double AccessHeatTracker::HotPageOverlap(std::size_t k) const {
+  if (extension_index_ < 2 || k == 0) return 0.0;
+  std::vector<uint32_t> now = TopOf(spatial_, k);
+  std::vector<uint32_t> before = TopOf(prev_spatial_, k);
+  if (now.empty() || before.empty()) return 0.0;
+  std::sort(now.begin(), now.end());
+  std::sort(before.begin(), before.end());
+  std::vector<uint32_t> common;
+  std::set_intersection(now.begin(), now.end(), before.begin(), before.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(std::min(now.size(), before.size()));
+}
+
+}  // namespace gpm::core

@@ -1,0 +1,68 @@
+#ifndef GAMMA_CORE_ACCESS_HEAT_H_
+#define GAMMA_CORE_ACCESS_HEAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gpm::core {
+
+/// Quantitative model of page access (§IV, Definitions 4.1-4.3).
+///
+/// The tracked address space (the CSR column array) is divided into pages.
+/// Before each extension, GAMMA knows which adjacency lists will be read and
+/// how often; `AddPlannedAccess` accumulates that into the current
+/// extension's SpatialLoc, and `FinalizeExtension` folds it with the
+/// historical TempLoc into AccHeat:
+///
+///   AccHeat_i(p) = w_s * SpatialLoc_i(p) + (1 - w_s) * TempLoc_i(p) / (i-1)
+///
+/// with w_s = A_i / (A_i + sum_{j<i} A_j). TempLoc is averaged over the
+/// number of past extensions so that both terms are on a per-extension
+/// scale (the paper's Def. 4.3 weighs the two by the ratio of current to
+/// historical traffic; this is the same idea in normalized form).
+class AccessHeatTracker {
+ public:
+  AccessHeatTracker(std::size_t space_bytes, std::size_t page_bytes);
+
+  std::size_t num_pages() const { return spatial_.size(); }
+  std::size_t page_bytes() const { return page_bytes_; }
+
+  /// Starts accumulating the next extension's planned accesses.
+  void BeginExtension();
+
+  /// Declares that `bytes` starting at `offset` will be read `times` times
+  /// in the pending extension (one adjacency list, typically).
+  void AddPlannedAccess(std::size_t offset, std::size_t bytes,
+                        uint64_t times);
+
+  /// Computes AccHeat for the pending extension and rolls SpatialLoc into
+  /// the temporal history. Returns per-page heat.
+  const std::vector<double>& FinalizeExtension();
+
+  /// Indices of the `n` hottest pages after the last FinalizeExtension,
+  /// highest heat first. Pages with zero heat are never returned.
+  std::vector<uint32_t> TopPages(std::size_t n) const;
+
+  /// Fig. 5 metric: |top-k now ∩ top-k previous| / k. Returns 0 before the
+  /// second extension.
+  double HotPageOverlap(std::size_t k) const;
+
+  const std::vector<double>& spatial() const { return spatial_; }
+  const std::vector<double>& temporal() const { return temporal_; }
+  int extensions_seen() const { return extension_index_; }
+
+ private:
+  std::size_t page_bytes_;
+  int extension_index_ = 0;  // i in the definitions; 1-based once begun
+  double current_total_ = 0;     // A_i
+  double history_total_ = 0;     // sum_{j<i} A_j
+  std::vector<double> spatial_;  // SpatialLoc_i(p)
+  std::vector<double> temporal_;  // TempLoc_i(p) = cumulative past spatial
+  std::vector<double> heat_;          // AccHeat_i(p)
+  std::vector<double> prev_spatial_;  // previous extension's SpatialLoc
+};
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_ACCESS_HEAT_H_

@@ -1,0 +1,130 @@
+#include "core/aggregation.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "graph/canonical.h"
+#include "graph/isomorphism.h"
+
+namespace gpm::core {
+namespace {
+
+constexpr std::size_t kRowsPerWarp = 256;
+
+}  // namespace
+
+Result<AggregationResult> Aggregate(const EmbeddingTable& table,
+                                    GraphAccessor* accessor,
+                                    PatternTable* pt,
+                                    const AggregationOptions& options) {
+  AggregationResult result;
+  const std::size_t rows = table.num_embeddings();
+  const int len = table.length();
+  if (rows == 0) return result;
+
+  gpusim::Device* device = table.device();
+  const graph::Graph& g = accessor->graph();
+  graph::CanonicalCache cache;
+
+  // Map phase: one warp per row block; each row is reconstructed, its
+  // pattern built and canonically coded, and the code written out.
+  result.codes.resize(rows);
+  std::unordered_map<uint64_t, graph::Pattern> exemplars;
+  std::vector<Unit> units;
+  std::size_t tasks = (rows + kRowsPerWarp - 1) / kRowsPerWarp;
+  result.kernel_cycles += device->LaunchKernel(
+      tasks, [&](gpusim::WarpCtx& w, std::size_t t) {
+        std::size_t lo = t * kRowsPerWarp;
+        std::size_t hi = std::min(rows, lo + kRowsPerWarp);
+        table.ChargeColumnRead(w, len - 1, lo, hi - lo);
+        w.ChargeSimtWork((hi - lo) * len,
+                         options.map_cycles_per_unit * len);
+        for (std::size_t r = lo; r < hi; ++r) {
+          std::vector<Unit> emb = table.GetEmbedding(len - 1,
+                                                     static_cast<RowIndex>(r));
+          graph::Pattern p;
+          if (table.kind() == TableKind::kEdge) {
+            std::vector<graph::EdgeId> edges(emb.begin(), emb.end());
+            p = graph::PatternOfEdges(g, edges, options.use_labels);
+          } else {
+            std::vector<graph::VertexId> verts(emb.begin(), emb.end());
+            p = graph::PatternOfVertices(g, verts, options.use_labels);
+          }
+          uint64_t code = cache.Get(p);
+          result.codes[r] = code;
+          exemplars.emplace(code, p);
+        }
+        w.DeviceWrite((hi - lo) * sizeof(uint64_t));
+        units.clear();
+      },
+      "aggregation-map");
+
+  // Sort the code column (out-of-core capable) and count runs.
+  std::vector<uint64_t> sorted = result.codes;
+  SortOptions sort_options = options.sort;
+  auto sort_stats = SortKeys(device, &sorted, sort_options);
+  if (!sort_stats.ok()) return sort_stats.status();
+  result.sort_stats = sort_stats.value();
+
+  // Run-length count over the sorted codes (single scan kernel).
+  std::unordered_map<uint64_t, uint64_t> counts;
+  result.kernel_cycles += device->LaunchKernel(
+      std::max<std::size_t>(1, rows / 4096),
+      [&](gpusim::WarpCtx& w, std::size_t) {
+        w.ZeroCopyRead(4096 * sizeof(uint64_t));
+        w.ChargeSimtWork(4096);
+      },
+      "aggregation-count");
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    counts[sorted[i]] = j - i;
+    i = j;
+  }
+  result.distinct_patterns = counts.size();
+
+  if (options.support == SupportMeasure::kInstanceCount) {
+    for (auto& [code, count] : counts) {
+      pt->Accumulate(code, exemplars.at(code), count);
+    }
+  } else {
+    // MNI: min over pattern positions of distinct data vertices seen at
+    // that position. Positions follow the embedding's unit order (for
+    // e-ET, the first-seen vertex order used by PatternOfEdges).
+    std::unordered_map<uint64_t,
+                       std::vector<std::unordered_set<graph::VertexId>>>
+        images;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<Unit> emb =
+          table.GetEmbedding(len - 1, static_cast<RowIndex>(r));
+      std::vector<graph::VertexId> verts;
+      if (table.kind() == TableKind::kEdge) {
+        for (Unit e : emb) {
+          const graph::Edge& ed = g.edge_list()[e];
+          if (std::find(verts.begin(), verts.end(), ed.u) == verts.end())
+            verts.push_back(ed.u);
+          if (std::find(verts.begin(), verts.end(), ed.v) == verts.end())
+            verts.push_back(ed.v);
+        }
+      } else {
+        verts.assign(emb.begin(), emb.end());
+      }
+      auto& img = images[result.codes[r]];
+      if (img.size() < verts.size()) img.resize(verts.size());
+      for (std::size_t i = 0; i < verts.size(); ++i) {
+        img[i].insert(verts[i]);
+      }
+    }
+    for (auto& [code, img] : images) {
+      uint64_t mni = img.empty() ? 0 : img.front().size();
+      for (const auto& s : img) {
+        mni = std::min<uint64_t>(mni, s.size());
+      }
+      pt->SetSupport(code, exemplars.at(code), mni);
+    }
+  }
+  return result;
+}
+
+}  // namespace gpm::core

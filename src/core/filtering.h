@@ -1,0 +1,49 @@
+#ifndef GAMMA_CORE_FILTERING_H_
+#define GAMMA_CORE_FILTERING_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/compaction.h"
+#include "core/embedding_table.h"
+#include "core/pattern_table.h"
+
+namespace gpm::core {
+
+struct FilterStats {
+  std::size_t checked = 0;
+  std::size_t removed = 0;
+  double kernel_cycles = 0;
+  CompactionResult compaction;
+};
+
+struct FilterOptions {
+  /// Compress the table after marking (Fig. 6(c)); GAMMA always does, the
+  /// ablation baselines may skip it.
+  bool compress = true;
+  /// Also drop ancestor rows that lost every descendant.
+  bool prune_ancestors = true;
+  /// Cycles charged per predicate evaluation.
+  double predicate_cycles = 4.0;
+};
+
+/// The filtering primitive over embeddings: marks rows failing `keep`,
+/// then compresses the table. `keep` sees the fully reconstructed
+/// embedding (oldest unit first).
+FilterStats FilterEmbeddings(
+    EmbeddingTable* table,
+    const std::function<bool(std::span<const Unit>)>& keep,
+    const FilterOptions& options);
+
+/// FPM-style filtering: drops embeddings whose pattern (per `codes`, as
+/// returned by Aggregate) is invalid in `pt` (Algorithm 2, line 4).
+FilterStats FilterByPattern(EmbeddingTable* table,
+                            const std::vector<uint64_t>& codes,
+                            const PatternTable& pt,
+                            const FilterOptions& options);
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_FILTERING_H_

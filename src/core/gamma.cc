@@ -1,0 +1,114 @@
+#include "core/gamma.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gpm::core {
+
+GammaEngine::GammaEngine(gpusim::Device* device, const graph::Graph* graph,
+                         const GammaOptions& options)
+    : device_(device),
+      graph_(graph),
+      options_(options),
+      accessor_(device, graph, options.access) {}
+
+Status GammaEngine::Prepare() {
+  GAMMA_CHECK(!prepared_) << "Prepare called twice";
+  Status st = accessor_.Prepare();
+  if (!st.ok()) return st;
+  prepared_ = true;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitVertexTable(
+    graph::Label label) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  auto table = std::make_unique<EmbeddingTable>(
+      device_, TableKind::kVertex, options_.device_resident_tables);
+  std::vector<Unit> units;
+  const std::size_t n = graph_->num_vertices();
+  // Scan kernel over the label array: mark, scan, scatter matching ids.
+  device_->LaunchKernel(
+      std::max<std::size_t>(1, n / 4096),
+      [&](gpusim::WarpCtx& w, std::size_t) {
+        w.ZeroCopyRead(4096 * sizeof(graph::Label));
+        w.ChargeSimtWork(4096);
+        w.ChargeWarpScan();
+      },
+      "init-vertex-scan");
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (label == graph::Pattern::kAnyLabel || graph_->label(v) == label) {
+      units.push_back(v);
+    }
+  }
+  device_->CopyDeviceToHost(units.size() * sizeof(Unit));
+  Status st = table->InitFirstColumn(std::move(units));
+  if (!st.ok()) return st;
+  return table;
+}
+
+Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitEdgeTable() {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  if (graph_->edge_list().empty()) {
+    return Status::FailedPrecondition(
+        "edge table requires the graph's edge index (EnsureEdgeIndex)");
+  }
+  auto table = std::make_unique<EmbeddingTable>(
+      device_, TableKind::kEdge, options_.device_resident_tables);
+  std::vector<Unit> units(graph_->edge_list().size());
+  for (std::size_t e = 0; e < units.size(); ++e) {
+    units[e] = static_cast<Unit>(e);
+  }
+  device_->ChargeHostWork(static_cast<double>(units.size()));
+  Status st = table->InitFirstColumn(std::move(units));
+  if (!st.ok()) return st;
+  return table;
+}
+
+Result<ExtensionStats> GammaEngine::VertexExtension(
+    EmbeddingTable* et, const VertexExtensionSpec& spec) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  return VertexExtend(et, &accessor_, spec, options_.extension);
+}
+
+Result<ExtensionStats> GammaEngine::EdgeExtension(
+    EmbeddingTable* et, const EdgeExtensionSpec& spec) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  return EdgeExtend(et, &accessor_, spec, options_.extension);
+}
+
+Result<AggregationResult> GammaEngine::Aggregation(const EmbeddingTable& et,
+                                                   PatternTable* pt) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  return Aggregate(et, &accessor_, pt, options_.aggregation);
+}
+
+FilterStats GammaEngine::Filtering(
+    EmbeddingTable* et,
+    const std::function<bool(std::span<const Unit>)>& constraint) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  return FilterEmbeddings(et, constraint, options_.filter);
+}
+
+FilterStats GammaEngine::Filtering(EmbeddingTable* et,
+                                   const std::vector<uint64_t>& codes,
+                                   const PatternTable& pt) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  return FilterByPattern(et, codes, pt, options_.filter);
+}
+
+std::string GammaEngine::OutputResults(const EmbeddingTable* et,
+                                       const PatternTable* pt) const {
+  std::ostringstream os;
+  if (et != nullptr) {
+    os << et->num_embeddings() << " embeddings of length " << et->length();
+  }
+  if (pt != nullptr) {
+    if (et != nullptr) os << "; ";
+    os << pt->DebugString();
+  }
+  return os.str();
+}
+
+}  // namespace gpm::core

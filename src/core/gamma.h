@@ -1,0 +1,94 @@
+#ifndef GAMMA_CORE_GAMMA_H_
+#define GAMMA_CORE_GAMMA_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/adaptive_access.h"
+#include "core/aggregation.h"
+#include "core/extension.h"
+#include "core/filtering.h"
+#include "core/pattern_table.h"
+#include "gpusim/device.h"
+#include "graph/csr.h"
+
+namespace gpm::core {
+
+/// End-to-end configuration of a GAMMA run.
+struct GammaOptions {
+  GraphAccessor::Options access;
+  ExtensionOptions extension;
+  AggregationOptions aggregation;
+  FilterOptions filter;
+  /// In-core mode: embedding tables live in device memory and runs fail
+  /// with kDeviceOutOfMemory when they outgrow it (baseline behaviour).
+  bool device_resident_tables = false;
+};
+
+/// The user-facing GAMMA framework façade (Fig. 3).
+///
+/// Owns the graph accessor and exposes the primitives —
+/// VertexExtension / EdgeExtension / Aggregation / Filtering /
+/// output_results — configured once through GammaOptions, so algorithm code
+/// (Algorithms 1 and 2, kCL, ...) reads like the paper's pseudocode and
+/// never touches host-memory access modes, intermediate-result management,
+/// or the primitive optimizations.
+class GammaEngine {
+ public:
+  GammaEngine(gpusim::Device* device, const graph::Graph* graph,
+              const GammaOptions& options);
+
+  GammaEngine(const GammaEngine&) = delete;
+  GammaEngine& operator=(const GammaEngine&) = delete;
+
+  /// Stages the graph on the platform. Must be called once before use.
+  Status Prepare();
+
+  // -- Embedding-table construction -----------------------------------------
+
+  /// v-ET seeded with every vertex carrying `label` (kAnyLabel = all
+  /// vertices). Charged as a scan kernel over the label array.
+  Result<std::unique_ptr<EmbeddingTable>> InitVertexTable(
+      graph::Label label = graph::Pattern::kAnyLabel);
+
+  /// e-ET seeded with every undirected edge (all length-1 embeddings,
+  /// Algorithm 2 line 1). Requires the graph's edge index.
+  Result<std::unique_ptr<EmbeddingTable>> InitEdgeTable();
+
+  // -- Primitives (Fig. 3 interfaces) ---------------------------------------
+
+  Result<ExtensionStats> VertexExtension(EmbeddingTable* et,
+                                         const VertexExtensionSpec& spec);
+  Result<ExtensionStats> EdgeExtension(EmbeddingTable* et,
+                                       const EdgeExtensionSpec& spec);
+  Result<AggregationResult> Aggregation(const EmbeddingTable& et,
+                                        PatternTable* pt);
+  FilterStats Filtering(EmbeddingTable* et,
+                        const std::function<bool(std::span<const Unit>)>&
+                            constraint);
+  FilterStats Filtering(EmbeddingTable* et,
+                        const std::vector<uint64_t>& codes,
+                        const PatternTable& pt);
+
+  /// Renders results for the user (embedding count or pattern supports).
+  std::string OutputResults(const EmbeddingTable* et,
+                            const PatternTable* pt) const;
+
+  gpusim::Device* device() { return device_; }
+  const graph::Graph& graph() const { return *graph_; }
+  GraphAccessor& accessor() { return accessor_; }
+  const GammaOptions& options() const { return options_; }
+  GammaOptions& mutable_options() { return options_; }
+
+ private:
+  gpusim::Device* device_;
+  const graph::Graph* graph_;
+  GammaOptions options_;
+  GraphAccessor accessor_;
+  bool prepared_ = false;
+};
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_GAMMA_H_

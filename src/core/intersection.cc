@@ -1,0 +1,70 @@
+#include "core/intersection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpm::core {
+
+void IntersectSorted(gpusim::WarpCtx& warp,
+                     std::span<const graph::VertexId> a,
+                     std::span<const graph::VertexId> b,
+                     std::vector<graph::VertexId>* out) {
+  out->clear();
+  warp.ChargeSimtWork(a.size() + b.size());
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+void UnionSorted(gpusim::WarpCtx& warp, std::span<const graph::VertexId> a,
+                 std::span<const graph::VertexId> b,
+                 std::vector<graph::VertexId>* out) {
+  out->clear();
+  warp.ChargeSimtWork(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(*out));
+}
+
+void IntersectGalloping(gpusim::WarpCtx& warp,
+                        std::span<const graph::VertexId> a,
+                        std::span<const graph::VertexId> b,
+                        std::vector<graph::VertexId>* out) {
+  out->clear();
+  std::span<const graph::VertexId> small = a.size() <= b.size() ? a : b;
+  std::span<const graph::VertexId> large = a.size() <= b.size() ? b : a;
+  double probes =
+      large.empty() ? 1.0 : std::log2(static_cast<double>(large.size()) + 1);
+  warp.ChargeSimtWork(small.size(), probes);
+  for (graph::VertexId x : small) {
+    if (std::binary_search(large.begin(), large.end(), x)) {
+      out->push_back(x);
+    }
+  }
+}
+
+void IntersectAdaptive(gpusim::WarpCtx& warp,
+                       std::span<const graph::VertexId> a,
+                       std::span<const graph::VertexId> b,
+                       std::vector<graph::VertexId>* out) {
+  std::size_t small = std::min(a.size(), b.size());
+  std::size_t large = std::max(a.size(), b.size());
+  if (small == 0) {
+    out->clear();
+    return;
+  }
+  if (large / small >= kGallopRatio) {
+    IntersectGalloping(warp, a, b, out);
+  } else {
+    IntersectSorted(warp, a, b, out);
+  }
+}
+
+bool BinaryContains(gpusim::WarpCtx& warp,
+                    std::span<const graph::VertexId> list,
+                    graph::VertexId x) {
+  double probes =
+      list.empty() ? 1.0 : std::log2(static_cast<double>(list.size()) + 1);
+  warp.ChargeCompute(probes);
+  return std::binary_search(list.begin(), list.end(), x);
+}
+
+}  // namespace gpm::core

@@ -1,0 +1,80 @@
+#include "core/memory_pool.h"
+
+#include "common/logging.h"
+
+namespace gpm::core {
+
+MemoryPool::MemoryPool(gpusim::Device* device, const Options& options)
+    : device_(device), options_(options) {
+  GAMMA_CHECK(options_.block_bytes > 0 &&
+              options_.pool_bytes >= options_.block_bytes)
+      << "pool must hold at least one block";
+  blocks_total_ = options_.pool_bytes / options_.block_bytes;
+}
+
+Status MemoryPool::Reserve() {
+  auto buf = gpusim::DeviceBuffer::Make(&device_->memory(),
+                                        options_.pool_bytes);
+  if (!buf.ok()) return buf.status();
+  reservation_ = std::move(buf).value();
+  return Status::Ok();
+}
+
+void MemoryPool::GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
+                           std::size_t entry_bytes) {
+  // Global atomic on the pool's allocation counter.
+  warp.ChargeAtomic();
+  ++device_->stats().pool_block_requests;
+  if (blocks_handed_out_ >= blocks_total_) {
+    // Pool exhausted mid-kernel: drain everything to host and restart the
+    // allocation counter. The drain itself overlaps with other warps'
+    // compute (it is PCIe traffic, folded into the kernel's link term);
+    // the requesting warp pays the synchronization latency.
+    std::size_t bytes = dirty_bytes_;
+    device_->stats().explicit_d2h_bytes += bytes;
+    warp.ChargeCompute(device_->params().pcie_latency_cycles);
+    warp.ChargeBlockSync();
+    device_->AddKernelPcieBytes(bytes);
+    dirty_bytes_ = 0;
+    blocks_handed_out_ = 0;
+    ++mid_kernel_flushes_;
+  }
+  ++blocks_handed_out_;
+  cursor->remaining_entries = options_.block_bytes / entry_bytes;
+  cursor->owns_block = true;
+}
+
+void MemoryPool::WarpWrite(gpusim::WarpCtx& warp, WarpCursor* cursor,
+                           std::size_t count, std::size_t entry_bytes) {
+  while (count > 0) {
+    if (cursor->remaining_entries == 0) {
+      GrabBlock(warp, cursor, entry_bytes);
+    }
+    std::size_t take = std::min(count, cursor->remaining_entries);
+    // Intra-warp positions come from a warp-level prefix scan (free SIMT
+    // sync); the write itself is coalesced into the block.
+    warp.ChargeWarpScan();
+    warp.DeviceWrite(take * entry_bytes);
+    dirty_bytes_ += take * entry_bytes;
+    cursor->remaining_entries -= take;
+    count -= take;
+  }
+}
+
+void MemoryPool::EndWarpTask(WarpCursor* cursor) {
+  if (cursor->owns_block && cursor->remaining_entries > 0) {
+    ++device_->stats().pool_blocks_wasted;
+  }
+  cursor->remaining_entries = 0;
+  cursor->owns_block = false;
+}
+
+std::size_t MemoryPool::FlushToHost() {
+  std::size_t bytes = dirty_bytes_;
+  if (bytes > 0) device_->CopyDeviceToHost(bytes);
+  dirty_bytes_ = 0;
+  blocks_handed_out_ = 0;
+  return bytes;
+}
+
+}  // namespace gpm::core

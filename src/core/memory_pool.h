@@ -1,0 +1,72 @@
+#ifndef GAMMA_CORE_MEMORY_POOL_H_
+#define GAMMA_CORE_MEMORY_POOL_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "gpusim/device.h"
+
+namespace gpm::core {
+
+/// Device write-buffer pool for extension results (Optimization 1, §V-B).
+///
+/// The available device write buffer is divided into fixed-size blocks; each
+/// warp owns one block at a time and requests a fresh one (a global atomic)
+/// when it fills. This removes the write conflict between warps without
+/// Pangolin's count-then-write second pass or GSI's worst-case
+/// preallocation. When every block is handed out mid-kernel, the pool is
+/// flushed to host memory (all blocks drained over PCIe) and reused — this
+/// is what lets a bounded device buffer absorb an unbounded result stream.
+class MemoryPool {
+ public:
+  struct Options {
+    std::size_t pool_bytes = 4ull << 20;  ///< total device buffer
+    std::size_t block_bytes = 8192;       ///< paper's 8 KB blocks
+  };
+
+  MemoryPool(gpusim::Device* device, const Options& options);
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Allocates the pool from device memory.
+  Status Reserve();
+
+  /// Per-warp cursor over the warp's current block.
+  struct WarpCursor {
+    std::size_t remaining_entries = 0;
+    bool owns_block = false;
+  };
+
+  /// Simulates the warp writing `count` entries of `entry_bytes` each.
+  /// Grabs new blocks (atomic + possible pool flush) as needed.
+  void WarpWrite(gpusim::WarpCtx& warp, WarpCursor* cursor,
+                 std::size_t count, std::size_t entry_bytes);
+
+  /// Marks the end of a warp task: a partially used block is waste the
+  /// paper bounds by (#warps x block size).
+  void EndWarpTask(WarpCursor* cursor);
+
+  /// Drains all dirty blocks to host memory after a kernel; returns the
+  /// flushed byte count. Charged as an explicit D2H copy.
+  std::size_t FlushToHost();
+
+  std::size_t blocks_total() const { return blocks_total_; }
+  std::size_t mid_kernel_flushes() const { return mid_kernel_flushes_; }
+
+ private:
+  void GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
+                 std::size_t entry_bytes);
+
+  gpusim::Device* device_;
+  Options options_;
+  gpusim::DeviceBuffer reservation_;
+  std::size_t blocks_total_ = 0;
+  std::size_t blocks_handed_out_ = 0;  // since last flush
+  std::size_t dirty_bytes_ = 0;        // written since last flush
+  std::size_t mid_kernel_flushes_ = 0;
+};
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_MEMORY_POOL_H_

@@ -1,0 +1,274 @@
+#include "core/multimerge_sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace gpm::core {
+namespace {
+
+constexpr std::size_t kKeyBytes = sizeof(uint64_t);
+// Host sorts have no 10k-thread parallelism; cycles per compare-move step.
+constexpr double kCpuCyclesPerStep = 12.0;
+
+double Log2Of(std::size_t n) {
+  return std::log2(static_cast<double>(n) + 2.0);
+}
+
+// In-core sort of one segment: H2D, bitonic-style kernel, D2H.
+double ChargeSegmentSort(gpusim::Device* device, std::size_t elems) {
+  if (elems == 0) return 0;
+  double cycles = 0;
+  cycles += device->CopyHostToDevice(elems * kKeyBytes);
+  const std::size_t kElemsPerTask = 4096;
+  std::size_t tasks = (elems + kElemsPerTask - 1) / kElemsPerTask;
+  double log_n = Log2Of(elems);
+  cycles += device->LaunchKernel(tasks, [&](gpusim::WarpCtx& w,
+                                            std::size_t t) {
+    std::size_t lo = t * kElemsPerTask;
+    std::size_t n = std::min(elems, lo + kElemsPerTask) - lo;
+    w.DeviceRead(n * kKeyBytes);
+    // Bitonic/merge network: log^2(n) passes over the task's share.
+    w.ChargeSimtWork(n, log_n * log_n * 0.5);
+    w.DeviceWrite(n * kKeyBytes);
+  },
+  "sort-segment");
+  cycles += device->CopyDeviceToHost(elems * kKeyBytes);
+  return cycles;
+}
+
+// Multi-merge of sorted segments (Algorithm 3), shared by the GAMMA and
+// naive methods; `halved_searches` applies Optimization 3's ordered-pair +
+// prefix-sum saving.
+SortStats MultiMerge(gpusim::Device* device,
+                     std::vector<std::vector<uint64_t>>* segments,
+                     std::vector<uint64_t>* out, std::size_t p_size,
+                     bool halved_searches) {
+  SortStats stats;
+  const std::size_t n = segments->size();
+
+  // Collect checkpoints: every p_size-th element of each segment.
+  std::vector<uint64_t> checkpoints;
+  for (const auto& seg : *segments) {
+    for (std::size_t i = p_size; i < seg.size(); i += p_size) {
+      checkpoints.push_back(seg[i]);
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end());
+  checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()),
+                    checkpoints.end());
+
+  // Matched indices of every checkpoint in every segment (block-wise
+  // parallel on device; charged as one kernel).
+  std::vector<std::vector<std::size_t>> splits(n);
+  double log_seg = 0;
+  for (const auto& seg : *segments) log_seg = std::max(log_seg, Log2Of(seg.size()));
+  stats.cycles += device->LaunchKernel(
+      std::max<std::size_t>(1, n), [&](gpusim::WarpCtx& w, std::size_t i) {
+        const auto& seg = (*segments)[i];
+        w.ZeroCopyRead(checkpoints.size() * kKeyBytes);
+        w.ChargeSimtWork(checkpoints.size(), log_seg);
+        splits[i].reserve(checkpoints.size() + 2);
+        splits[i].push_back(0);
+        for (uint64_t c : checkpoints) {
+          splits[i].push_back(MatchedIndex(seg, c));
+        }
+        splits[i].push_back(seg.size());
+      },
+      "sort-matched-index");
+
+  // One merge subtask per checkpoint interval; warp-wise merging.
+  const std::size_t num_subtasks = checkpoints.size() + 1;
+  stats.subtasks = num_subtasks;
+  std::vector<std::vector<uint64_t>> merged(num_subtasks);
+  stats.cycles += device->LaunchKernel(
+      num_subtasks, [&](gpusim::WarpCtx& w, std::size_t o) {
+        // Gather the o-th slice of every segment.
+        std::size_t m = 0;
+        std::vector<std::pair<const uint64_t*, const uint64_t*>> slices;
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto& seg = (*segments)[i];
+          std::size_t lo = splits[i][o];
+          std::size_t hi = splits[i][o + 1];
+          slices.emplace_back(seg.data() + lo, seg.data() + hi);
+          m += hi - lo;
+        }
+        // The slices live in host memory (segments were written back after
+        // the in-core sorts); read them in and write the merged run out.
+        w.ZeroCopyRead(m * kKeyBytes);
+        // Searches run one element per SIMT lane (thread-wise searching
+        // in Algorithm 3), log2(p_size) steps each.
+        std::size_t searches = m * (n > 0 ? n - 1 : 0);
+        if (halved_searches) {
+          // Only S_j over S_k for j > k; the reverse direction comes from
+          // the prefix-sum over matched counts (Fig. 9(c)).
+          w.ChargeSimtWork(searches / 2, Log2Of(p_size));
+          w.ChargeSimtWork(searches / 2, 0.25);  // prefix-sum passes
+          w.ChargeWarpScan();
+        } else {
+          w.ChargeSimtWork(searches, Log2Of(p_size));
+        }
+        w.ZeroCopyWrite(m * kKeyBytes);
+
+        // Functional n-way merge of the slices.
+        auto& out_run = merged[o];
+        out_run.reserve(m);
+        using HeapItem = std::pair<uint64_t, std::size_t>;
+        std::priority_queue<HeapItem, std::vector<HeapItem>,
+                            std::greater<HeapItem>>
+            heap;
+        auto cursors = slices;
+        for (std::size_t i = 0; i < cursors.size(); ++i) {
+          if (cursors[i].first != cursors[i].second) {
+            heap.emplace(*cursors[i].first, i);
+          }
+        }
+        while (!heap.empty()) {
+          auto [v, i] = heap.top();
+          heap.pop();
+          out_run.push_back(v);
+          ++cursors[i].first;
+          if (cursors[i].first != cursors[i].second) {
+            heap.emplace(*cursors[i].first, i);
+          }
+        }
+            },
+      "sort-merge");
+
+  out->clear();
+  for (auto& run : merged) {
+    out->insert(out->end(), run.begin(), run.end());
+  }
+  return stats;
+}
+
+}  // namespace
+
+const char* SortMethodName(SortMethod method) {
+  switch (method) {
+    case SortMethod::kGammaMultiMerge:
+      return "gamma-multimerge";
+    case SortMethod::kNaiveMerge:
+      return "naive-merge";
+    case SortMethod::kXtr2Sort:
+      return "xtr2sort";
+    case SortMethod::kCpuSort:
+      return "cpu-sort";
+  }
+  return "?";
+}
+
+std::size_t MatchedIndex(const std::vector<uint64_t>& s, uint64_t x) {
+  return static_cast<std::size_t>(
+      std::lower_bound(s.begin(), s.end(), x) - s.begin());
+}
+
+Result<SortStats> SortKeys(gpusim::Device* device,
+                           std::vector<uint64_t>* keys,
+                           const SortOptions& options) {
+  SortStats stats;
+  stats.keys = keys->size();
+  const std::size_t n = keys->size();
+  if (n <= 1) return stats;
+
+  if (options.method == SortMethod::kCpuSort) {
+    double log_n = Log2Of(n);
+    device->ChargeHostWork(static_cast<double>(n) * log_n *
+                           kCpuCyclesPerStep);
+    std::sort(keys->begin(), keys->end());
+    stats.segments = 1;
+    return stats;
+  }
+
+  std::size_t segment_bytes = options.segment_bytes;
+  if (segment_bytes == 0) {
+    segment_bytes = device->memory().available_bytes() / 2;
+  }
+  if (segment_bytes < 4096) {
+    return Status::DeviceOutOfMemory(
+        "not enough device memory for a sort segment");
+  }
+  const std::size_t seg_elems = segment_bytes / kKeyBytes;
+  if (options.in_core_only && n > seg_elems) {
+    return Status::DeviceOutOfMemory(
+        "in-core sort of " + std::to_string(n * kKeyBytes) +
+        " bytes exceeds the device sort buffer (" +
+        std::to_string(segment_bytes) + " bytes)");
+  }
+
+  if (options.method == SortMethod::kXtr2Sort) {
+    // Sample splitters from the unsorted input (stride sample), partition
+    // every key over the link, then sort each bucket in core. Bucket skew
+    // is whatever the sample produces — that is xtr2sort's weakness.
+    std::size_t num_buckets =
+        std::max<std::size_t>(1, (n + seg_elems - 1) / seg_elems);
+    std::vector<uint64_t> sample;
+    std::size_t stride = std::max<std::size_t>(1, n / (num_buckets * 32));
+    for (std::size_t i = 0; i < n; i += stride) sample.push_back((*keys)[i]);
+    std::sort(sample.begin(), sample.end());
+    std::vector<uint64_t> splitters;
+    for (std::size_t b = 1; b < num_buckets; ++b) {
+      splitters.push_back(sample[b * sample.size() / num_buckets]);
+    }
+    // Partition pass: read all keys, write them into buckets (host side).
+    stats.cycles += device->LaunchKernel(
+        std::max<std::size_t>(1, n / 4096),
+        [&](gpusim::WarpCtx& w, std::size_t) {
+          std::size_t share = 4096;
+          w.ZeroCopyRead(share * kKeyBytes);
+          w.ChargeSimtWork(share, Log2Of(splitters.size()));
+          w.ZeroCopyWrite(share * kKeyBytes);
+        });
+    std::vector<std::vector<uint64_t>> buckets(num_buckets);
+    for (uint64_t k : *keys) {
+      std::size_t b = static_cast<std::size_t>(
+          std::upper_bound(splitters.begin(), splitters.end(), k) -
+          splitters.begin());
+      buckets[b].push_back(k);
+    }
+    keys->clear();
+    for (auto& bucket : buckets) {
+      // Oversized buckets need multiple in-core rounds (extra passes).
+      std::size_t rounds = std::max<std::size_t>(
+          1, (bucket.size() + seg_elems - 1) / seg_elems);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        std::size_t lo = r * bucket.size() / rounds;
+        std::size_t hi = (r + 1) * bucket.size() / rounds;
+        stats.cycles += ChargeSegmentSort(device, hi - lo);
+      }
+      if (rounds > 1) {
+        // Merge the rounds on the host (penalty for the imbalance).
+        device->ChargeHostWork(static_cast<double>(bucket.size()) * 4);
+      }
+      std::sort(bucket.begin(), bucket.end());
+      keys->insert(keys->end(), bucket.begin(), bucket.end());
+      ++stats.segments;
+    }
+    return stats;
+  }
+
+  // Segment phase shared by the multi-merge methods.
+  std::vector<std::vector<uint64_t>> segments;
+  for (std::size_t lo = 0; lo < n; lo += seg_elems) {
+    std::size_t hi = std::min(n, lo + seg_elems);
+    segments.emplace_back(keys->begin() + lo, keys->begin() + hi);
+    std::sort(segments.back().begin(), segments.back().end());
+    stats.cycles += ChargeSegmentSort(device, hi - lo);
+  }
+  stats.segments = segments.size();
+  if (segments.size() == 1) {
+    *keys = std::move(segments.front());
+    return stats;
+  }
+
+  SortStats merge = MultiMerge(
+      device, &segments, keys, options.p_size,
+      /*halved_searches=*/options.method == SortMethod::kGammaMultiMerge);
+  stats.cycles += merge.cycles;
+  stats.subtasks = merge.subtasks;
+  return stats;
+}
+
+}  // namespace gpm::core

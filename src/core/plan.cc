@@ -1,0 +1,135 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gpm::core {
+namespace {
+
+using graph::Label;
+using graph::Pattern;
+using graph::VertexId;
+
+// Fraction of data vertices carrying `label` (1.0 for wildcards).
+double LabelSelectivity(const graph::Graph& g, Label label) {
+  if (label == Pattern::kAnyLabel || !g.labeled()) return 1.0;
+  std::size_t count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.label(v) == label) ++count;
+  }
+  return g.num_vertices() == 0
+             ? 0.0
+             : static_cast<double>(count) /
+                   static_cast<double>(g.num_vertices());
+}
+
+}  // namespace
+
+std::string WojPlan::DebugString() const {
+  std::ostringstream os;
+  os << "WojPlan(order=[";
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) os << ",";
+    os << order[i];
+  }
+  os << "], cost=" << estimated_cost << ")";
+  return os.str();
+}
+
+double EstimateCardinality(const graph::Graph& g,
+                           const graph::Pattern& query,
+                           const std::vector<int>& order, int depth) {
+  GAMMA_CHECK(depth >= 0 &&
+              depth < static_cast<int>(order.size()))
+      << "depth out of range";
+  const double n = static_cast<double>(g.num_vertices());
+  const double avg_deg = g.average_degree();
+
+  // Start: candidates for the first vertex = label-selective vertex scan.
+  double card = n * LabelSelectivity(g, query.label(order[0]));
+  for (int d = 1; d <= depth; ++d) {
+    int backs = 0;
+    for (int j = 0; j < d; ++j) {
+      if (query.HasEdge(order[d], order[j])) ++backs;
+    }
+    GAMMA_CHECK(backs >= 1) << "order prefix not connected";
+    // One backward edge multiplies by the average fan-out; every further
+    // backward edge behaves like an adjacency test with probability
+    // avg_deg / n of succeeding (independence assumption).
+    double fanout = avg_deg * LabelSelectivity(g, query.label(order[d]));
+    for (int e = 1; e < backs; ++e) {
+      fanout *= std::min(1.0, avg_deg / std::max(1.0, n));
+    }
+    card *= std::max(fanout, 1e-12);
+  }
+  return card;
+}
+
+WojPlan BuildWojPlan(const graph::Graph& g, const graph::Pattern& query,
+                     PlanStrategy strategy) {
+  WojPlan plan;
+  const int k = query.num_vertices();
+
+  if (strategy == PlanStrategy::kStructural) {
+    plan.order = query.DefaultMatchingOrder();
+  } else {
+    // Greedy: start at the most selective (label frequency x degree rank)
+    // vertex; at each step append the connected vertex minimizing the
+    // estimated cardinality of the extended prefix.
+    std::vector<bool> used(k, false);
+    int best0 = 0;
+    double best0_score = 1e300;
+    for (int i = 0; i < k; ++i) {
+      double score = LabelSelectivity(g, query.label(i)) /
+                     std::max(1, query.degree(i));
+      if (score < best0_score) {
+        best0_score = score;
+        best0 = i;
+      }
+    }
+    plan.order.push_back(best0);
+    used[best0] = true;
+    while (static_cast<int>(plan.order.size()) < k) {
+      int best = -1;
+      double best_cost = 1e300;
+      for (int cand = 0; cand < k; ++cand) {
+        if (used[cand]) continue;
+        bool connected = false;
+        for (int j : plan.order) {
+          if (query.HasEdge(cand, j)) connected = true;
+        }
+        if (!connected) continue;
+        std::vector<int> tentative = plan.order;
+        tentative.push_back(cand);
+        double cost = EstimateCardinality(
+            g, query, tentative, static_cast<int>(tentative.size()) - 1);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = cand;
+        }
+      }
+      GAMMA_CHECK(best >= 0) << "query graph not connected";
+      plan.order.push_back(best);
+      used[best] = true;
+    }
+  }
+
+  // Backward positions and total cost.
+  plan.backward.resize(k);
+  for (int d = 1; d < k; ++d) {
+    for (int j = 0; j < d; ++j) {
+      if (query.HasEdge(plan.order[d], plan.order[j])) {
+        plan.backward[d].push_back(j);
+      }
+    }
+  }
+  for (int d = 0; d < k; ++d) {
+    plan.estimated_cost += EstimateCardinality(g, query, plan.order, d);
+  }
+  return plan;
+}
+
+}  // namespace gpm::core

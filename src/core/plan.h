@@ -1,0 +1,51 @@
+#ifndef GAMMA_CORE_PLAN_H_
+#define GAMMA_CORE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/pattern.h"
+
+namespace gpm::core {
+
+/// A worst-case-optimal-join plan for one query: the vertex matching order
+/// plus, per step, the embedding positions whose adjacency lists are
+/// intersected (the matched backward neighbors).
+struct WojPlan {
+  std::vector<int> order;  ///< query vertices in matching order
+  /// backward[d] = positions (depths < d) adjacent to order[d].
+  std::vector<std::vector<int>> backward;
+  /// Estimated total intermediate-result cardinality (plan cost).
+  double estimated_cost = 0;
+
+  std::string DebugString() const;
+};
+
+/// How the planner picks the order.
+enum class PlanStrategy {
+  /// Pattern-only heuristic: max degree first, then most matched
+  /// neighbors (the Pattern::DefaultMatchingOrder used by Algorithm 1).
+  kStructural,
+  /// Cardinality-based greedy: uses data-graph statistics (label
+  /// frequencies, average degree) to keep intermediate results small —
+  /// starts with the most selective vertex and grows by the cheapest
+  /// estimated extension.
+  kGreedyCardinality,
+};
+
+/// Builds a WOJ plan for `query` over `g`. Every prefix of the order is
+/// connected (required by vertex extension).
+WojPlan BuildWojPlan(const graph::Graph& g, const graph::Pattern& query,
+                     PlanStrategy strategy);
+
+/// Estimates the number of partial embeddings after matching the first
+/// `depth + 1` vertices of `plan.order` — the quantity the greedy planner
+/// minimizes. Exposed for tests.
+double EstimateCardinality(const graph::Graph& g,
+                           const graph::Pattern& query,
+                           const std::vector<int>& order, int depth);
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_PLAN_H_

@@ -1,0 +1,35 @@
+#ifndef GAMMA_CORE_SYMMETRY_H_
+#define GAMMA_CORE_SYMMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/pattern.h"
+
+namespace gpm::core {
+
+/// A symmetry-breaking restriction over matching-order positions: the data
+/// vertex matched at `smaller_pos` must have a smaller id than the one at
+/// `larger_pos`.
+struct SymmetryRestriction {
+  int smaller_pos;
+  int larger_pos;
+};
+
+/// Computes ordering restrictions that break all automorphisms of `query`
+/// under matching order `order`: with the restrictions applied, every
+/// instance is enumerated exactly once (embeddings = instances).
+///
+/// Classic construction: process automorphisms of the pattern; for the
+/// first order-position where an automorphism moves the vertex, impose
+/// "position of v < position of sigma(v)" and keep only automorphisms
+/// fixing that vertex; repeat until only the identity survives.
+std::vector<SymmetryRestriction> BreakSymmetry(
+    const graph::Pattern& query, const std::vector<int>& order);
+
+std::string RestrictionsDebugString(
+    const std::vector<SymmetryRestriction>& restrictions);
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_SYMMETRY_H_

@@ -1,0 +1,79 @@
+#include "core/table_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace gpm::core {
+namespace {
+
+constexpr uint64_t kTableMagic = 0x47414d4d41455431ull;  // "GAMMAET1"
+
+}  // namespace
+
+Status SaveTable(const EmbeddingTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  auto put = [&out](const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  uint64_t magic = kTableMagic;
+  uint64_t kind = table.kind() == TableKind::kVertex ? 0 : 1;
+  uint64_t ncols = table.length();
+  put(&magic, sizeof magic);
+  put(&kind, sizeof kind);
+  put(&ncols, sizeof ncols);
+  for (int j = 0; j < table.length(); ++j) {
+    const auto& col = table.column(j);
+    uint64_t rows = col.size();
+    put(&rows, sizeof rows);
+    put(col.units.host_data().data(), rows * sizeof(Unit));
+    put(col.parents.host_data().data(), rows * sizeof(RowIndex));
+  }
+  return out ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+Result<std::unique_ptr<EmbeddingTable>> LoadTable(gpusim::Device* device,
+                                                  const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  auto get = [&in](void* p, std::size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0, kind = 0, ncols = 0;
+  if (!get(&magic, sizeof magic) || magic != kTableMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!get(&kind, sizeof kind) || kind > 1 ||
+      !get(&ncols, sizeof ncols) || ncols > 64) {
+    return Status::InvalidArgument("corrupt header in " + path);
+  }
+  auto table = std::make_unique<EmbeddingTable>(
+      device, kind == 0 ? TableKind::kVertex : TableKind::kEdge);
+  for (uint64_t j = 0; j < ncols; ++j) {
+    uint64_t rows = 0;
+    if (!get(&rows, sizeof rows)) {
+      return Status::InvalidArgument("truncated column header in " + path);
+    }
+    std::vector<Unit> units(rows);
+    std::vector<RowIndex> parents(rows);
+    if ((rows > 0 && !get(units.data(), rows * sizeof(Unit))) ||
+        (rows > 0 && !get(parents.data(), rows * sizeof(RowIndex)))) {
+      return Status::InvalidArgument("truncated column body in " + path);
+    }
+    // Validate parent pointers before handing to AppendColumn (which
+    // treats violations as programmer errors and aborts).
+    for (RowIndex p : parents) {
+      bool ok = j == 0 ? p == kNoParent : p < table->column(j - 1).size();
+      if (!ok) {
+        return Status::InvalidArgument("corrupt parent pointer in " + path);
+      }
+    }
+    Status st = table->AppendColumn(std::move(units), std::move(parents));
+    if (!st.ok()) return st;
+  }
+  return table;
+}
+
+}  // namespace gpm::core

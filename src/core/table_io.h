@@ -1,0 +1,27 @@
+#ifndef GAMMA_CORE_TABLE_IO_H_
+#define GAMMA_CORE_TABLE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/embedding_table.h"
+
+namespace gpm::core {
+
+/// Disk spill for embedding tables — one step beyond the paper's
+/// host-memory residency: when even host memory is tight (the paper's runs
+/// peak at 310 GB), intermediate tables can be checkpointed to disk
+/// between iterations and restored later. The format is self-describing
+/// and round-trips exactly.
+Status SaveTable(const EmbeddingTable& table, const std::string& path);
+
+/// Restores a table written by SaveTable onto `device`. The table is
+/// recreated host-resident (spilling device-resident tables converts them;
+/// in-core systems have nothing to spill to).
+Result<std::unique_ptr<EmbeddingTable>> LoadTable(gpusim::Device* device,
+                                                  const std::string& path);
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_TABLE_IO_H_

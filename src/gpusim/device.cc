@@ -1,0 +1,39 @@
+#include "gpusim/device.h"
+
+#include "common/logging.h"
+
+namespace gpm::gpusim {
+
+Device::Device(SimParams params)
+    : params_(params),
+      memory_(params.device_memory_bytes),
+      unified_(params_, &stats_) {
+  // The unified-memory page buffer is carved out of device memory so that
+  // in-core data structures compete with it for space, like on real
+  // hardware.
+  if (params_.um_device_buffer_bytes > 0) {
+    auto buf = DeviceBuffer::Make(&memory_, params_.um_device_buffer_bytes);
+    GAMMA_CHECK(buf.ok())
+        << "UM page buffer does not fit in device memory: "
+        << buf.status().ToString();
+    um_buffer_reservation_ = std::move(buf).value();
+  }
+}
+
+double Device::CopyHostToDevice(std::size_t bytes) {
+  stats_.explicit_h2d_bytes += bytes;
+  double cycles = params_.pcie_latency_cycles +
+                  static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
+  clock_cycles_ += cycles;
+  return cycles;
+}
+
+double Device::CopyDeviceToHost(std::size_t bytes) {
+  stats_.explicit_d2h_bytes += bytes;
+  double cycles = params_.pcie_latency_cycles +
+                  static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
+  clock_cycles_ += cycles;
+  return cycles;
+}
+
+}  // namespace gpm::gpusim

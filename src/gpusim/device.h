@@ -1,0 +1,139 @@
+#ifndef GAMMA_GPUSIM_DEVICE_H_
+#define GAMMA_GPUSIM_DEVICE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device_memory.h"
+#include "gpusim/sim_params.h"
+#include "gpusim/stats.h"
+#include "gpusim/unified_memory.h"
+#include "gpusim/warp.h"
+
+namespace gpm::gpusim {
+
+/// The simulated CPU-GPU heterogeneous platform.
+///
+/// A Device owns: a capacity-enforcing device-memory allocator, the unified
+/// memory subsystem (page buffer carved out of device memory at
+/// construction), hardware counters, a host-memory footprint tracker, and a
+/// simulated clock. Kernels execute warp tasks functionally on the host
+/// while accumulating simulated cycles; kernel latency is the makespan of
+/// warp tasks over `num_warp_slots` concurrent slots, overlapped with the
+/// PCIe traffic the kernel generated (threads waiting on host memory are
+/// switched out, §II-B).
+class Device {
+ public:
+  explicit Device(SimParams params = SimParams());
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const SimParams& params() const { return params_; }
+  DeviceMemory& memory() { return memory_; }
+  UnifiedMemory& unified() { return unified_; }
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+  HostMemoryTracker& host_tracker() { return host_tracker_; }
+
+  /// Total simulated time since construction (cycles / seconds / ms).
+  double now_cycles() const { return clock_cycles_; }
+  double ElapsedSeconds() const {
+    return params_.CyclesToSeconds(clock_cycles_);
+  }
+  double ElapsedMillis() const {
+    return params_.CyclesToMillis(clock_cycles_);
+  }
+  void ResetClock() { clock_cycles_ = 0; }
+
+  /// Adds host-side (CPU) work to the simulated timeline, e.g. flushing and
+  /// reorganizing buffers between kernels.
+  void ChargeHostWork(double cycles) { clock_cycles_ += cycles; }
+
+  /// Explicit cudaMemcpy-style transfer; advances the clock and returns the
+  /// cycles spent. Used by baselines with explicit data movement.
+  double CopyHostToDevice(std::size_t bytes);
+  double CopyDeviceToHost(std::size_t bytes);
+
+  /// Called by memory subsystems during a kernel to account link traffic.
+  void AddKernelPcieBytes(std::size_t bytes) { kernel_pcie_bytes_ += bytes; }
+
+  /// Peak device-memory usage including the UM page buffer reservation.
+  std::size_t PeakDeviceBytes() const { return memory_.peak_used_bytes(); }
+
+  /// One completed kernel in the (optional) trace.
+  struct KernelRecord {
+    std::string name;
+    std::size_t tasks = 0;
+    double compute_makespan_cycles = 0;
+    double pcie_cycles = 0;
+    double total_cycles = 0;
+  };
+
+  /// Enables per-kernel tracing (off by default; the trace is unbounded,
+  /// so enable it for diagnosis, not for long sweeps).
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  const std::vector<KernelRecord>& kernel_trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+  /// Runs `num_tasks` warp tasks through `fn(WarpCtx&, task_id)`.
+  /// Returns the kernel's simulated cycles (also added to the clock).
+  /// `name` labels the kernel in the trace.
+  template <typename Fn>
+  double LaunchKernel(std::size_t num_tasks, Fn&& fn,
+                      const char* name = "kernel") {
+    ++stats_.kernel_launches;
+    stats_.warp_tasks += num_tasks;
+    kernel_pcie_bytes_ = 0;
+
+    const int slots = std::max(1, params_.num_warp_slots);
+    // Min-heap of slot finish times: greedy list scheduling gives the
+    // makespan of the warp tasks over the resident-warp slots.
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        finish;
+    for (int i = 0; i < slots; ++i) finish.push(0.0);
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      WarpCtx warp(this, t);
+      fn(warp, t);
+      double start = finish.top();
+      finish.pop();
+      finish.push(start + warp.cycles());
+    }
+    double makespan = 0.0;
+    while (!finish.empty()) {
+      makespan = finish.top();
+      finish.pop();
+    }
+    double pcie_cycles =
+        static_cast<double>(kernel_pcie_bytes_) / params_.pcie_bytes_per_cycle;
+    double kernel_cycles =
+        params_.kernel_launch_cycles + std::max(makespan, pcie_cycles);
+    clock_cycles_ += kernel_cycles;
+    if (trace_enabled_) {
+      trace_.push_back(
+          {name, num_tasks, makespan, pcie_cycles, kernel_cycles});
+    }
+    return kernel_cycles;
+  }
+
+ private:
+  SimParams params_;
+  DeviceMemory memory_;
+  DeviceStats stats_;
+  UnifiedMemory unified_;
+  HostMemoryTracker host_tracker_;
+  DeviceBuffer um_buffer_reservation_;
+  double clock_cycles_ = 0;
+  std::size_t kernel_pcie_bytes_ = 0;
+  bool trace_enabled_ = false;
+  std::vector<KernelRecord> trace_;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_DEVICE_H_

@@ -1,0 +1,62 @@
+#include "gpusim/device_memory.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace gpm::gpusim {
+
+Result<DeviceMemory::AllocId> DeviceMemory::Allocate(std::size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    return Status::DeviceOutOfMemory(
+        "device allocation of " + std::to_string(bytes) + " bytes exceeds " +
+        std::to_string(capacity_ - used_) + " available (capacity " +
+        std::to_string(capacity_) + ")");
+  }
+  used_ += bytes;
+  if (used_ > peak_used_) peak_used_ = used_;
+  AllocId id = next_id_++;
+  allocations_.emplace(id, bytes);
+  return id;
+}
+
+void DeviceMemory::Free(AllocId id) {
+  auto it = allocations_.find(id);
+  GAMMA_CHECK(it != allocations_.end()) << "free of unknown device alloc";
+  used_ -= it->second;
+  allocations_.erase(it);
+}
+
+Status DeviceMemory::Resize(AllocId id, std::size_t new_bytes) {
+  auto it = allocations_.find(id);
+  GAMMA_CHECK(it != allocations_.end()) << "resize of unknown device alloc";
+  std::size_t old_bytes = it->second;
+  if (new_bytes > old_bytes) {
+    std::size_t delta = new_bytes - old_bytes;
+    if (used_ + delta > capacity_) {
+      return Status::DeviceOutOfMemory("device resize exceeds capacity");
+    }
+    used_ += delta;
+    if (used_ > peak_used_) peak_used_ = used_;
+  } else {
+    used_ -= old_bytes - new_bytes;
+  }
+  it->second = new_bytes;
+  return Status::Ok();
+}
+
+Result<DeviceBuffer> DeviceBuffer::Make(DeviceMemory* mem,
+                                        std::size_t bytes) {
+  auto id = mem->Allocate(bytes);
+  if (!id.ok()) return id.status();
+  return DeviceBuffer(mem, id.value(), bytes);
+}
+
+Status DeviceBuffer::Resize(std::size_t new_bytes) {
+  GAMMA_CHECK(valid()) << "resize of empty DeviceBuffer";
+  Status st = mem_->Resize(id_, new_bytes);
+  if (st.ok()) bytes_ = new_bytes;
+  return st;
+}
+
+}  // namespace gpm::gpusim

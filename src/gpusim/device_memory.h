@@ -1,0 +1,98 @@
+#ifndef GAMMA_GPUSIM_DEVICE_MEMORY_H_
+#define GAMMA_GPUSIM_DEVICE_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace gpm::gpusim {
+
+/// Capacity-enforcing device memory allocator.
+///
+/// The simulator does not keep a separate physical buffer for device memory
+/// (data lives in ordinary host vectors owned by the data structures); this
+/// class only models *capacity*: every simulated device allocation must fit
+/// within `capacity_bytes`, and in-core baselines fail with
+/// kDeviceOutOfMemory exactly where a real 16 GB card would.
+class DeviceMemory {
+ public:
+  using AllocId = uint64_t;
+
+  explicit DeviceMemory(std::size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  DeviceMemory(const DeviceMemory&) = delete;
+  DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+  /// Reserves `bytes` of device memory. Fails with kDeviceOutOfMemory when
+  /// the request does not fit.
+  Result<AllocId> Allocate(std::size_t bytes);
+
+  /// Releases a prior allocation. CHECK-fails on unknown ids.
+  void Free(AllocId id);
+
+  /// Grows/shrinks an existing allocation in place (used by buffers that
+  /// resize); fails with kDeviceOutOfMemory if the delta does not fit.
+  Status Resize(AllocId id, std::size_t new_bytes);
+
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::size_t used_bytes() const { return used_; }
+  std::size_t peak_used_bytes() const { return peak_used_; }
+  std::size_t available_bytes() const { return capacity_ - used_; }
+  void ResetPeak() { peak_used_ = used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_used_ = 0;
+  AllocId next_id_ = 1;
+  std::unordered_map<AllocId, std::size_t> allocations_;
+};
+
+/// RAII handle for a device allocation; frees on destruction. Move-only.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceMemory* mem, DeviceMemory::AllocId id, std::size_t bytes)
+      : mem_(mem), id_(id), bytes_(bytes) {}
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    Release();
+    mem_ = other.mem_;
+    id_ = other.id_;
+    bytes_ = other.bytes_;
+    other.mem_ = nullptr;
+    return *this;
+  }
+  ~DeviceBuffer() { Release(); }
+
+  /// Allocates `bytes` from `mem`; empty buffer (and error) when OOM.
+  static Result<DeviceBuffer> Make(DeviceMemory* mem, std::size_t bytes);
+
+  bool valid() const { return mem_ != nullptr; }
+  std::size_t bytes() const { return bytes_; }
+
+  /// Resizes the underlying allocation.
+  Status Resize(std::size_t new_bytes);
+
+  void Release() {
+    if (mem_ != nullptr) {
+      mem_->Free(id_);
+      mem_ = nullptr;
+    }
+  }
+
+ private:
+  DeviceMemory* mem_ = nullptr;
+  DeviceMemory::AllocId id_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_DEVICE_MEMORY_H_

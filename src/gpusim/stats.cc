@@ -1,0 +1,22 @@
+#include "gpusim/stats.h"
+
+#include <sstream>
+
+namespace gpm::gpusim {
+
+std::string DeviceStats::ToString() const {
+  std::ostringstream os;
+  os << "kernels=" << kernel_launches << " warp_tasks=" << warp_tasks
+     << " um_faults=" << um_page_faults << " um_hits=" << um_page_hits
+     << " um_migrated=" << um_migrated_bytes << "B"
+     << " um_evictions=" << um_evictions << " zc_tx=" << zc_transactions
+     << " zc_bytes=" << zc_bytes << "B"
+     << " dev_read=" << device_read_bytes << "B"
+     << " dev_write=" << device_write_bytes << "B"
+     << " h2d=" << explicit_h2d_bytes << "B d2h=" << explicit_d2h_bytes
+     << "B pool_reqs=" << pool_block_requests
+     << " pool_wasted=" << pool_blocks_wasted;
+  return os.str();
+}
+
+}  // namespace gpm::gpusim

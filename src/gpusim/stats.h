@@ -1,0 +1,68 @@
+#ifndef GAMMA_GPUSIM_STATS_H_
+#define GAMMA_GPUSIM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpm::gpusim {
+
+/// Hardware event counters accumulated over the lifetime of a Device.
+/// Benches read these to report memory traffic and fault behaviour.
+struct DeviceStats {
+  uint64_t kernel_launches = 0;
+  uint64_t warp_tasks = 0;
+
+  // Unified memory.
+  uint64_t um_page_faults = 0;
+  uint64_t um_page_hits = 0;
+  uint64_t um_migrated_bytes = 0;
+  uint64_t um_evictions = 0;
+
+  // Zero-copy memory.
+  uint64_t zc_transactions = 0;
+  uint64_t zc_bytes = 0;
+
+  // Device memory traffic.
+  uint64_t device_reads = 0;
+  uint64_t device_read_bytes = 0;
+  uint64_t device_writes = 0;
+  uint64_t device_write_bytes = 0;
+
+  // Explicit host<->device copies (cudaMemcpy-style, used by baselines).
+  uint64_t explicit_h2d_bytes = 0;
+  uint64_t explicit_d2h_bytes = 0;
+
+  // Memory-pool behaviour (Optimization 1).
+  uint64_t pool_block_requests = 0;
+  uint64_t pool_blocks_wasted = 0;
+
+  void Reset() { *this = DeviceStats(); }
+  std::string ToString() const;
+};
+
+/// Tracks simulated host-memory footprint (embedding tables, graph copies).
+/// Fig. 10 reports peak host+device memory; device peak comes from the
+/// DeviceMemory allocator, host peak from this tracker.
+class HostMemoryTracker {
+ public:
+  void Add(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Sub(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  std::size_t current_bytes() const { return current_; }
+  std::size_t peak_bytes() const { return peak_; }
+  void ResetPeak() { peak_ = current_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_STATS_H_

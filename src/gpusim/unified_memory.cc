@@ -1,0 +1,113 @@
+#include "gpusim/unified_memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpm::gpusim {
+
+UnifiedMemory::RegionId UnifiedMemory::Register(std::size_t bytes) {
+  RegionId id = next_region_++;
+  region_bytes_.emplace(id, bytes);
+  return id;
+}
+
+void UnifiedMemory::ResizeRegion(RegionId region, std::size_t new_bytes) {
+  auto it = region_bytes_.find(region);
+  GAMMA_CHECK(it != region_bytes_.end()) << "resize of unknown UM region";
+  std::size_t old_bytes = it->second;
+  it->second = new_bytes;
+  if (new_bytes < old_bytes) {
+    uint64_t first_stale = (new_bytes + params_.um_page_bytes - 1) /
+                           params_.um_page_bytes;
+    uint64_t last = old_bytes / params_.um_page_bytes;
+    for (uint64_t p = first_stale; p <= last; ++p) {
+      auto rit = resident_.find(PageKey(region, p));
+      if (rit != resident_.end()) {
+        lru_.erase(rit->second);
+        resident_.erase(rit);
+      }
+    }
+  }
+}
+
+std::size_t UnifiedMemory::PrefetchPage(RegionId region,
+                                        std::size_t offset) {
+  uint64_t key = PageKey(region, offset / params_.um_page_bytes);
+  if (resident_.count(key) > 0) {
+    Touch(key);
+    return 0;
+  }
+  InsertPage(key);
+  stats_->um_migrated_bytes += params_.um_page_bytes;
+  return params_.um_page_bytes;
+}
+
+void UnifiedMemory::InvalidateRegion(RegionId region) {
+  for (auto it = resident_.begin(); it != resident_.end();) {
+    if ((it->first >> 48) == region) {
+      lru_.erase(it->second);
+      it = resident_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool UnifiedMemory::IsResident(RegionId region, std::size_t offset) const {
+  return resident_.count(PageKey(region, offset / params_.um_page_bytes)) >
+         0;
+}
+
+void UnifiedMemory::Touch(uint64_t key) {
+  auto it = resident_.find(key);
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void UnifiedMemory::InsertPage(uint64_t key) {
+  if (capacity_pages_ == 0) return;  // No buffer: behaves like re-faulting.
+  while (lru_.size() >= capacity_pages_) {
+    resident_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_->um_evictions;
+  }
+  lru_.push_front(key);
+  resident_.emplace(key, lru_.begin());
+}
+
+AccessCharge UnifiedMemory::Access(RegionId region, std::size_t offset,
+                                   std::size_t bytes) {
+  AccessCharge charge;
+  if (bytes == 0) return charge;
+  const std::size_t page_bytes = params_.um_page_bytes;
+  uint64_t first_page = offset / page_bytes;
+  uint64_t last_page = (offset + bytes - 1) / page_bytes;
+  for (uint64_t p = first_page; p <= last_page; ++p) {
+    uint64_t key = PageKey(region, p);
+    std::size_t lo = std::max<std::size_t>(offset, p * page_bytes);
+    std::size_t hi =
+        std::min<std::size_t>(offset + bytes, (p + 1) * page_bytes);
+    std::size_t span = hi - lo;
+    auto it = resident_.find(key);
+    if (it != resident_.end()) {
+      // Buffered page: device-memory cost only.
+      ++stats_->um_page_hits;
+      charge.cycles += params_.device_mem_latency_cycles +
+                       static_cast<double>(span) /
+                           params_.device_bytes_per_cycle;
+      Touch(key);
+    } else {
+      // Page fault: fault handling plus whole-page migration.
+      ++stats_->um_page_faults;
+      stats_->um_migrated_bytes += page_bytes;
+      charge.cycles += params_.page_fault_cycles +
+                       static_cast<double>(page_bytes) /
+                           params_.pcie_bytes_per_cycle;
+      charge.pcie_bytes += page_bytes;
+      InsertPage(key);
+    }
+  }
+  return charge;
+}
+
+}  // namespace gpm::gpusim

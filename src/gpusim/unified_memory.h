@@ -1,0 +1,96 @@
+#ifndef GAMMA_GPUSIM_UNIFIED_MEMORY_H_
+#define GAMMA_GPUSIM_UNIFIED_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/sim_params.h"
+#include "gpusim/stats.h"
+
+namespace gpm::gpusim {
+
+/// Charge produced by a memory access: warp stall cycles plus bytes that
+/// must cross the PCIe link (added to the current kernel's link traffic).
+struct AccessCharge {
+  double cycles = 0;
+  std::size_t pcie_bytes = 0;
+};
+
+/// Simulated CUDA unified (managed) memory.
+///
+/// Host-resident regions are addressable from device code; the first access
+/// to a page triggers a page fault and a 4 KB migration into a device-side
+/// page buffer (LRU). Subsequent accesses to a buffered page cost only a
+/// device-memory access. The buffer capacity models the portion of device
+/// memory the runtime dedicates to migrated pages; pages persist across
+/// kernels, which is what gives GAMMA's extensions their exploitable
+/// temporal locality (paper Fig. 5).
+class UnifiedMemory {
+ public:
+  using RegionId = uint32_t;
+
+  UnifiedMemory(const SimParams& params, DeviceStats* stats)
+      : params_(params),
+        stats_(stats),
+        capacity_pages_(params.um_device_buffer_bytes / params.um_page_bytes) {
+  }
+
+  UnifiedMemory(const UnifiedMemory&) = delete;
+  UnifiedMemory& operator=(const UnifiedMemory&) = delete;
+
+  /// Registers a managed region of `bytes` bytes; returns its id.
+  RegionId Register(std::size_t bytes);
+
+  /// Grows or shrinks a region. Shrinking invalidates buffered pages that
+  /// fall beyond the new size.
+  void ResizeRegion(RegionId region, std::size_t new_bytes);
+
+  /// Simulates a device-side access of `[offset, offset + bytes)` within
+  /// `region`. Faults and migrates non-resident pages.
+  AccessCharge Access(RegionId region, std::size_t offset, std::size_t bytes);
+
+  /// Prefetches the page holding `offset` into the device buffer
+  /// (cudaMemPrefetchAsync-style: bulk migration, no per-page fault
+  /// penalty). Returns the bytes that actually had to migrate (0 when the
+  /// page was already resident). The caller charges the link transfer.
+  std::size_t PrefetchPage(RegionId region, std::size_t offset);
+
+  /// Drops every buffered page of `region` (e.g., data rewritten by host).
+  void InvalidateRegion(RegionId region);
+
+  /// True when the page holding `offset` is resident in the device buffer.
+  bool IsResident(RegionId region, std::size_t offset) const;
+
+  std::size_t resident_pages() const { return lru_.size(); }
+  std::size_t capacity_pages() const { return capacity_pages_; }
+
+  /// Overrides the buffer capacity (used when device memory pressure forces
+  /// a smaller page buffer than the default).
+  void set_capacity_pages(std::size_t pages) { capacity_pages_ = pages; }
+
+ private:
+  // Region id in the top 16 bits, page number in the low 48.
+  static uint64_t PageKey(RegionId region, uint64_t page) {
+    return (static_cast<uint64_t>(region) << 48) | page;
+  }
+
+  void Touch(uint64_t key);
+  void InsertPage(uint64_t key);
+
+  const SimParams& params_;
+  DeviceStats* stats_;
+  std::size_t capacity_pages_;
+  RegionId next_region_ = 1;
+  std::unordered_map<RegionId, std::size_t> region_bytes_;
+
+  // LRU over resident pages: front = most recent.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_UNIFIED_MEMORY_H_

@@ -1,0 +1,83 @@
+#include "gpusim/warp.h"
+
+#include <cmath>
+
+#include "gpusim/device.h"
+
+namespace gpm::gpusim {
+
+const char* AccessModeName(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kDeviceResident:
+      return "device";
+    case AccessMode::kUnified:
+      return "unified";
+    case AccessMode::kZeroCopy:
+      return "zero-copy";
+  }
+  return "?";
+}
+
+WarpCtx::WarpCtx(Device* device, std::size_t task_id)
+    : device_(device), task_id_(task_id) {}
+
+void WarpCtx::ChargeSimtWork(std::size_t elems, double cycles_per_step) {
+  if (elems == 0) return;
+  const int w = device_->params().warp_size;
+  std::size_t steps = (elems + w - 1) / w;
+  cycles_ += static_cast<double>(steps) * cycles_per_step;
+}
+
+void WarpCtx::ChargeWarpScan() {
+  // log2(warp_size) shuffle rounds, one cycle each.
+  cycles_ += std::log2(static_cast<double>(device_->params().warp_size));
+}
+
+void WarpCtx::ChargeAtomic() { cycles_ += device_->params().atomic_cycles; }
+
+void WarpCtx::ChargeBlockSync() {
+  cycles_ += device_->params().block_sync_cycles;
+}
+
+void WarpCtx::DeviceRead(std::size_t bytes) {
+  const SimParams& p = device_->params();
+  ++device_->stats().device_reads;
+  device_->stats().device_read_bytes += bytes;
+  cycles_ += p.device_mem_latency_cycles +
+             static_cast<double>(bytes) / p.device_bytes_per_cycle;
+}
+
+void WarpCtx::DeviceWrite(std::size_t bytes) {
+  const SimParams& p = device_->params();
+  ++device_->stats().device_writes;
+  device_->stats().device_write_bytes += bytes;
+  cycles_ += p.device_mem_latency_cycles +
+             static_cast<double>(bytes) / p.device_bytes_per_cycle;
+}
+
+void WarpCtx::ZeroCopyRead(std::size_t bytes) {
+  if (bytes == 0) return;
+  const SimParams& p = device_->params();
+  std::size_t ntx =
+      (bytes + p.zc_transaction_bytes - 1) / p.zc_transaction_bytes;
+  device_->stats().zc_transactions += ntx;
+  device_->stats().zc_bytes += ntx * p.zc_transaction_bytes;
+  // First transaction pays full link latency; the rest pipeline.
+  cycles_ += p.pcie_latency_cycles +
+             static_cast<double>(ntx - 1) * p.zc_pipelined_cycles;
+  device_->AddKernelPcieBytes(ntx * p.zc_transaction_bytes);
+}
+
+void WarpCtx::ZeroCopyWrite(std::size_t bytes) {
+  // Symmetric cost model for writes from device to host memory.
+  ZeroCopyRead(bytes);
+}
+
+void WarpCtx::UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
+                          std::size_t bytes) {
+  AccessCharge charge = device_->unified().Access(region, offset, bytes);
+  cycles_ += charge.cycles;
+  if (charge.pcie_bytes > 0) device_->AddKernelPcieBytes(charge.pcie_bytes);
+}
+
+}  // namespace gpm::gpusim

@@ -1,0 +1,84 @@
+#ifndef GAMMA_GPUSIM_WARP_H_
+#define GAMMA_GPUSIM_WARP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gpusim/sim_params.h"
+#include "gpusim/unified_memory.h"
+
+namespace gpm::gpusim {
+
+class Device;
+
+/// How device code reaches a host- or device-resident array.
+///
+/// GAMMA's self-adaptive strategy picks, per page and per extension, between
+/// kUnified and kZeroCopy for host-resident graph data; data placed in
+/// device memory uses kDeviceResident.
+enum class AccessMode : uint8_t {
+  kDeviceResident,
+  kUnified,
+  kZeroCopy,
+};
+
+const char* AccessModeName(AccessMode mode);
+
+/// Execution context of one warp task inside a kernel.
+///
+/// Warps are the simulation granularity (paper §II-A: SIMT threads inside a
+/// warp synchronize for free). Intra-warp data parallelism is modeled by
+/// `ChargeSimtWork`, which charges ceil(n / warp_size) element-steps instead
+/// of per-thread events. All memory traffic flows through the typed charge
+/// methods so that the cost model stays in one place.
+class WarpCtx {
+ public:
+  WarpCtx(Device* device, std::size_t task_id);
+
+  std::size_t task_id() const { return task_id_; }
+  double cycles() const { return cycles_; }
+  Device* device() { return device_; }
+
+  /// Raw ALU work (already warp-parallel): adds `cycles` directly.
+  void ChargeCompute(double cycles) { cycles_ += cycles; }
+
+  /// Warp-parallel loop over `elems` elements at `cycles_per_step` per
+  /// 32-wide step.
+  void ChargeSimtWork(std::size_t elems, double cycles_per_step = 1.0);
+
+  /// Warp-level inclusive/exclusive prefix scan over one value per thread
+  /// (log2(warp_size) shuffle rounds).
+  void ChargeWarpScan();
+
+  /// One global-memory atomic (e.g., grabbing a memory-pool block).
+  void ChargeAtomic();
+
+  /// Thread-block barrier.
+  void ChargeBlockSync();
+
+  /// Coalesced read of `bytes` from device memory.
+  void DeviceRead(std::size_t bytes);
+
+  /// Coalesced write of `bytes` to device memory.
+  void DeviceWrite(std::size_t bytes);
+
+  /// Read of `bytes` from host memory over zero-copy (128 B transactions).
+  void ZeroCopyRead(std::size_t bytes);
+
+  /// Write of `bytes` to host memory over zero-copy.
+  void ZeroCopyWrite(std::size_t bytes);
+
+  /// Read of `[offset, offset+bytes)` in a unified-memory region (page
+  /// faults + migrations on miss, device cost on hit).
+  void UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
+                   std::size_t bytes);
+
+ private:
+  Device* device_;
+  std::size_t task_id_;
+  double cycles_ = 0;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_WARP_H_

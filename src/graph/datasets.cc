@@ -1,0 +1,84 @@
+#include "graph/datasets.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/upscale.h"
+
+namespace gpm::graph {
+namespace {
+
+// R-MAT parameter presets per graph family. Citation graphs are mildly
+// skewed; social/web graphs heavily so.
+constexpr RmatParams kCitationSkew{0.45, 0.22, 0.22, 0.11};
+constexpr RmatParams kSocialSkew{0.57, 0.19, 0.19, 0.05};
+constexpr RmatParams kWebSkew{0.62, 0.18, 0.15, 0.05};
+
+}  // namespace
+
+const std::vector<DatasetInfo>& AllDatasets() {
+  static const std::vector<DatasetInfo>* kDatasets =
+      new std::vector<DatasetInfo>{
+          {"CP", "cit-Patent", "citation", 6000000, 17000000, 1000.0, 8192,
+           17000},
+          {"CL", "com-lj", "social", 4000000, 34000000, 1000.0, 4096, 34000},
+          {"CO", "com-orkut", "social", 3000000, 117000000, 2000.0, 3072,
+           58000},
+          {"EA", "email-EuAll", "email", 265000, 729000, 100.0, 2650, 7290},
+          {"ER", "email-EuroII", "email", 37000, 368000, 100.0, 370, 3680},
+          {"CL8", "com-lj*8", "synthetic", 32000000, 467000000, 1000.0,
+           32768, 272000},
+          {"SL5", "soc-Live*5", "synthetic", 24000000, 481000000, 1000.0,
+           24000, 96000},
+          {"UK", "uk2005", "web", 39000000, 1600000000, 4000.0, 32768,
+           400000},
+          {"IT", "it2004", "web", 41000000, 2100000000, 4000.0, 32768,
+           525000},
+          {"TW", "twitter_rv", "social", 62000000, 2400000000, 4000.0, 32768,
+           600000},
+      };
+  return *kDatasets;
+}
+
+const DatasetInfo& DatasetByName(const std::string& name) {
+  for (const DatasetInfo& d : AllDatasets()) {
+    if (d.name == name) return d;
+  }
+  GAMMA_LOG(Fatal) << "unknown dataset: " << name;
+  return AllDatasets().front();  // Unreachable.
+}
+
+Graph MakeDataset(const std::string& name, uint64_t seed,
+                  uint32_t num_labels) {
+  Rng rng(seed ^ Mix64(std::hash<std::string>{}(name)));
+  Graph g;
+  if (name == "CP") {
+    g = Rmat(13, 17000, &rng, kCitationSkew);
+  } else if (name == "CL") {
+    g = Rmat(12, 34000, &rng, kSocialSkew);
+  } else if (name == "CO") {
+    g = Rmat(12, 58000, &rng, kSocialSkew);
+  } else if (name == "EA") {
+    g = PowerLaw(2650, 7290, 0.9, &rng);
+  } else if (name == "ER") {
+    g = PowerLaw(370, 3680, 0.7, &rng);
+  } else if (name == "CL8") {
+    Graph base = Rmat(12, 34000, &rng, kSocialSkew);
+    g = Upscale(base, 8, &rng);
+  } else if (name == "SL5") {
+    Graph base = PowerLaw(4800, 19200, 0.8, &rng);
+    g = Upscale(base, 5, &rng);
+  } else if (name == "UK") {
+    g = Rmat(15, 400000, &rng, kWebSkew);
+  } else if (name == "IT") {
+    g = Rmat(15, 525000, &rng, kWebSkew);
+  } else if (name == "TW") {
+    g = Rmat(15, 600000, &rng, kSocialSkew);
+  } else {
+    GAMMA_LOG(Fatal) << "unknown dataset: " << name;
+  }
+  AssignLabelsZipf(&g, num_labels, 0.5, &rng);
+  return g;
+}
+
+}  // namespace gpm::graph

@@ -1,0 +1,45 @@
+#ifndef GAMMA_GRAPH_DATASETS_H_
+#define GAMMA_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace gpm::graph {
+
+/// Description of one proxy for a Table II dataset.
+///
+/// The original datasets (SNAP / LAW corpora up to 2.4 B edges) are not
+/// available offline, so each is replaced by a synthetic proxy whose
+/// generator and skew match the dataset family (citation / social / email /
+/// web) and whose size is the original scaled down by `scale_divisor` —
+/// chosen such that the proxy-to-device-memory ratio in the benches matches
+/// the paper's graph-to-16 GB ratio regime. See DESIGN.md §1.
+struct DatasetInfo {
+  std::string name;        ///< Paper's short name (CP, CL, CO, ...).
+  std::string full_name;   ///< e.g. "cit-Patent".
+  std::string family;      ///< citation | social | email | web | synthetic.
+  uint64_t paper_nodes;    ///< |V| in the paper's Table II.
+  uint64_t paper_edges;    ///< |E| in the paper's Table II.
+  double scale_divisor;    ///< proxy ≈ paper size / divisor.
+  uint64_t proxy_nodes;    ///< Nominal proxy |V| (generator target).
+  uint64_t proxy_edges;    ///< Nominal proxy |E| (generator target).
+};
+
+/// All ten Table II datasets, in the paper's order.
+const std::vector<DatasetInfo>& AllDatasets();
+
+/// Looks up a DatasetInfo by short name; CHECK-fails on unknown names.
+const DatasetInfo& DatasetByName(const std::string& name);
+
+/// Materializes the proxy graph for `name` (CP, CL, CO, EA, ER, CL8, SL5,
+/// UK, IT, TW). Deterministic for a fixed seed. Labels are always assigned
+/// (`num_labels` Zipf-skewed) so SM/FPM workloads can run on any dataset.
+Graph MakeDataset(const std::string& name, uint64_t seed = 7,
+                  uint32_t num_labels = 4);
+
+}  // namespace gpm::graph
+
+#endif  // GAMMA_GRAPH_DATASETS_H_

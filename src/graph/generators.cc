@@ -1,0 +1,126 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gpm::graph {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(VertexId num_vertices, std::size_t num_edges, Rng* rng) {
+  GAMMA_CHECK(num_vertices >= 2) << "need at least two vertices";
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  std::size_t max_possible =
+      static_cast<std::size_t>(num_vertices) * (num_vertices - 1) / 2;
+  num_edges = std::min(num_edges, max_possible);
+  while (edges.size() < num_edges) {
+    VertexId u = static_cast<VertexId>(rng->NextBounded(num_vertices));
+    VertexId v = static_cast<VertexId>(rng->NextBounded(num_vertices));
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      edges.push_back({std::min(u, v), std::max(u, v)});
+    }
+  }
+  return Graph::FromEdges(num_vertices, edges);
+}
+
+Graph Rmat(int scale, std::size_t num_edges, Rng* rng,
+           const RmatParams& params) {
+  GAMMA_CHECK(scale >= 1 && scale <= 30) << "bad R-MAT scale";
+  const VertexId n = static_cast<VertexId>(1u << scale);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      double r = rng->NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    edges.push_back({std::min(u, v), std::max(u, v)});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+Graph PowerLaw(VertexId num_vertices, std::size_t num_edges, double alpha,
+               Rng* rng) {
+  GAMMA_CHECK(num_vertices >= 2) << "need at least two vertices";
+  // Cumulative weight table; endpoint sampled by binary search.
+  std::vector<double> cdf(num_vertices);
+  double total = 0;
+  for (VertexId i = 0; i < num_vertices; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf[i] = total;
+  }
+  auto sample = [&]() {
+    double r = rng->NextDouble() * total;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return static_cast<VertexId>(it - cdf.begin());
+  };
+  std::unordered_set<uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = num_edges * 50 + 1000;
+  while (edges.size() < num_edges && attempts++ < max_attempts) {
+    VertexId u = sample();
+    VertexId v = sample();
+    if (u == v) continue;
+    if (seen.insert(EdgeKey(u, v)).second) {
+      edges.push_back({std::min(u, v), std::max(u, v)});
+    }
+  }
+  return Graph::FromEdges(num_vertices, edges);
+}
+
+void AssignLabelsZipf(Graph* g, uint32_t num_labels, double skew, Rng* rng) {
+  GAMMA_CHECK(num_labels >= 1) << "need at least one label";
+  std::vector<double> cdf(num_labels);
+  double total = 0;
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    total += std::pow(static_cast<double>(l + 1), -skew);
+    cdf[l] = total;
+  }
+  std::vector<Label> labels(g->num_vertices());
+  for (auto& l : labels) {
+    double r = rng->NextDouble() * total;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    l = static_cast<Label>(it - cdf.begin());
+  }
+  g->SetLabels(std::move(labels));
+}
+
+std::vector<Edge> EdgesOf(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  return edges;
+}
+
+}  // namespace gpm::graph

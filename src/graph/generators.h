@@ -1,0 +1,45 @@
+#ifndef GAMMA_GRAPH_GENERATORS_H_
+#define GAMMA_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/csr.h"
+
+namespace gpm::graph {
+
+/// Parameters of the R-MAT / Kronecker generator [38]. Defaults follow the
+/// Graph500 convention (a=0.57, b=c=0.19, d=0.05), which yields the heavy
+/// degree skew of social/web graphs.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+};
+
+/// Erdős–Rényi G(n, m): `num_edges` distinct undirected edges.
+Graph ErdosRenyi(VertexId num_vertices, std::size_t num_edges, Rng* rng);
+
+/// R-MAT graph over 2^scale vertices with ~num_edges undirected edges
+/// (duplicates and self loops removed, so the final count can be lower).
+Graph Rmat(int scale, std::size_t num_edges, Rng* rng,
+           const RmatParams& params = RmatParams());
+
+/// Chung-Lu power-law graph: expected degree of vertex i proportional to
+/// (i+1)^(-alpha), targeting `num_edges` undirected edges.
+Graph PowerLaw(VertexId num_vertices, std::size_t num_edges, double alpha,
+               Rng* rng);
+
+/// Assigns `num_labels` vertex labels with a Zipf-like skew (`skew` = 0
+/// means uniform). Labels correlate with vertex id hashing, so they are
+/// reproducible.
+void AssignLabelsZipf(Graph* g, uint32_t num_labels, double skew, Rng* rng);
+
+/// Returns the edge list of `g` (u < v).
+std::vector<Edge> EdgesOf(const Graph& g);
+
+}  // namespace gpm::graph
+
+#endif  // GAMMA_GRAPH_GENERATORS_H_

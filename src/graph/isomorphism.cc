@@ -1,0 +1,174 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpm::graph {
+namespace {
+
+bool LabelOk(const Graph& g, const Pattern& p, int pv, VertexId dv) {
+  return p.label(pv) == Pattern::kAnyLabel || p.label(pv) == g.label(dv);
+}
+
+// Backtracking matcher over a connected matching order. Each recursion
+// level extends the partial assignment by intersecting the candidate set
+// implied by already-matched backward neighbors.
+struct Matcher {
+  const Graph& g;
+  const Pattern& p;
+  std::vector<int> order;
+  std::vector<int> pos_in_order;  // pattern vertex -> depth
+  std::vector<VertexId> assigned;
+  uint64_t count = 0;
+  std::vector<std::vector<VertexId>>* sink = nullptr;
+
+  Matcher(const Graph& graph, const Pattern& pattern)
+      : g(graph), p(pattern), order(pattern.DefaultMatchingOrder()) {
+    pos_in_order.assign(p.num_vertices(), -1);
+    for (std::size_t d = 0; d < order.size(); ++d)
+      pos_in_order[order[d]] = static_cast<int>(d);
+    assigned.assign(p.num_vertices(), 0);
+  }
+
+  void Run() {
+    const int first = order[0];
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!LabelOk(g, p, first, v)) continue;
+      assigned[first] = v;
+      Extend(1);
+    }
+  }
+
+  void Extend(int depth) {
+    if (depth == p.num_vertices()) {
+      ++count;
+      if (sink != nullptr) {
+        std::vector<VertexId> emb(p.num_vertices());
+        for (int i = 0; i < p.num_vertices(); ++i) emb[i] = assigned[i];
+        sink->push_back(std::move(emb));
+      }
+      return;
+    }
+    const int pv = order[depth];
+    // Candidates: neighbors of the matched backward neighbor with smallest
+    // degree, then checked against the others.
+    int anchor = -1;
+    uint32_t anchor_deg = 0;
+    std::vector<int> backs;
+    for (int d = 0; d < depth; ++d) {
+      int q = order[d];
+      if (!p.HasEdge(pv, q)) continue;
+      backs.push_back(q);
+      uint32_t deg = g.degree(assigned[q]);
+      if (anchor < 0 || deg < anchor_deg) {
+        anchor = q;
+        anchor_deg = deg;
+      }
+    }
+    GAMMA_CHECK(anchor >= 0) << "matching order prefix not connected";
+    for (VertexId cand : g.neighbors(assigned[anchor])) {
+      if (!LabelOk(g, p, pv, cand)) continue;
+      bool ok = true;
+      for (int d = 0; d < depth && ok; ++d) {
+        if (assigned[order[d]] == cand) ok = false;  // injectivity
+      }
+      for (int q : backs) {
+        if (!ok) break;
+        if (q == anchor) continue;
+        if (!g.HasEdge(assigned[q], cand)) ok = false;
+      }
+      if (!ok) continue;
+      assigned[pv] = cand;
+      Extend(depth + 1);
+    }
+  }
+};
+
+}  // namespace
+
+bool IsEmbedding(const Graph& g, const Pattern& p,
+                 const std::vector<VertexId>& assignment) {
+  if (assignment.size() != static_cast<std::size_t>(p.num_vertices()))
+    return false;
+  for (int i = 0; i < p.num_vertices(); ++i) {
+    if (assignment[i] >= g.num_vertices()) return false;
+    if (!LabelOk(g, p, i, assignment[i])) return false;
+    for (int j = i + 1; j < p.num_vertices(); ++j) {
+      if (assignment[i] == assignment[j]) return false;
+      if (p.HasEdge(i, j) && !g.HasEdge(assignment[i], assignment[j]))
+        return false;
+    }
+  }
+  return true;
+}
+
+uint64_t CountEmbeddings(const Graph& g, const Pattern& p) {
+  if (p.num_vertices() == 1) {
+    if (!p.labeled()) return g.num_vertices();
+    uint64_t c = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (LabelOk(g, p, 0, v)) ++c;
+    }
+    return c;
+  }
+  Matcher m(g, p);
+  m.Run();
+  return m.count;
+}
+
+uint64_t CountInstances(const Graph& g, const Pattern& p) {
+  uint64_t embeddings = CountEmbeddings(g, p);
+  return embeddings / static_cast<uint64_t>(p.CountAutomorphisms());
+}
+
+void EnumerateEmbeddings(const Graph& g, const Pattern& p,
+                         std::vector<std::vector<VertexId>>* out) {
+  out->clear();
+  Matcher m(g, p);
+  m.sink = out;
+  m.Run();
+}
+
+Pattern PatternOfVertices(const Graph& g,
+                          const std::vector<VertexId>& vertices,
+                          bool use_labels) {
+  Pattern p(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (use_labels) p.SetLabel(static_cast<int>(i), g.label(vertices[i]));
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (g.HasEdge(vertices[i], vertices[j]))
+        p.AddEdge(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+  return p;
+}
+
+Pattern PatternOfEdges(const Graph& g, const std::vector<EdgeId>& edges,
+                       bool use_labels) {
+  std::vector<VertexId> verts;
+  auto vertex_index = [&verts](VertexId v) {
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      if (verts[i] == v) return static_cast<int>(i);
+    }
+    verts.push_back(v);
+    return static_cast<int>(verts.size() - 1);
+  };
+  std::vector<std::pair<int, int>> pattern_edges;
+  for (EdgeId e : edges) {
+    const Edge& edge = g.edge_list()[e];
+    int a = vertex_index(edge.u);
+    int b = vertex_index(edge.v);
+    pattern_edges.emplace_back(a, b);
+  }
+  Pattern p(static_cast<int>(verts.size()));
+  for (auto [a, b] : pattern_edges) p.AddEdge(a, b);
+  if (use_labels) {
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      p.SetLabel(static_cast<int>(i), g.label(verts[i]));
+    }
+  }
+  return p;
+}
+
+}  // namespace gpm::graph

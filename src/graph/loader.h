@@ -1,0 +1,26 @@
+#ifndef GAMMA_GRAPH_LOADER_H_
+#define GAMMA_GRAPH_LOADER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csr.h"
+
+namespace gpm::graph {
+
+/// Loads a whitespace-separated edge-list file ("u v" per line; lines
+/// starting with '#' or '%' are comments, SNAP style). Vertex ids are
+/// compacted to a dense range.
+Result<Graph> LoadEdgeListText(const std::string& path);
+
+/// Writes "u v" per undirected edge.
+Status SaveEdgeListText(const Graph& g, const std::string& path);
+
+/// Binary format: magic, vertex/edge counts, CSR arrays, optional labels.
+/// Round-trips exactly, including labels.
+Status SaveBinary(const Graph& g, const std::string& path);
+Result<Graph> LoadBinary(const std::string& path);
+
+}  // namespace gpm::graph
+
+#endif  // GAMMA_GRAPH_LOADER_H_

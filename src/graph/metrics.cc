@@ -1,0 +1,93 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace gpm::graph {
+
+std::string GraphMetrics::ToString() const {
+  std::ostringstream os;
+  os << "|V|=" << num_vertices << " |E|=" << num_edges
+     << " d_max=" << max_degree << " d_avg=" << avg_degree
+     << " d_p50=" << degree_p50 << " d_p99=" << degree_p99
+     << " skew=" << skew << " triangles=" << triangles
+     << " clustering=" << clustering << " isolated=" << isolated_vertices
+     << " components=" << connected_components;
+  return os.str();
+}
+
+GraphMetrics ComputeMetrics(const Graph& g) {
+  GraphMetrics m;
+  m.num_vertices = g.num_vertices();
+  m.num_edges = g.num_edges();
+  m.max_degree = g.max_degree();
+  m.avg_degree = g.average_degree();
+  m.skew = m.avg_degree > 0 ? m.max_degree / m.avg_degree : 0;
+
+  std::vector<uint32_t> degrees(g.num_vertices());
+  uint64_t wedges = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees[v] = g.degree(v);
+    if (degrees[v] == 0) ++m.isolated_vertices;
+    wedges += static_cast<uint64_t>(degrees[v]) * (degrees[v] - 1) / 2;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  if (!degrees.empty()) {
+    m.degree_p50 = degrees[degrees.size() / 2];
+    m.degree_p99 = degrees[degrees.size() * 99 / 100];
+  }
+
+  // Exact triangle count via ordered intersection.
+  std::vector<VertexId> scratch;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nu = g.neighbors(u);
+    auto higher = std::upper_bound(nu.begin(), nu.end(), u);
+    for (auto it = higher; it != nu.end(); ++it) {
+      VertexId v = *it;
+      auto nv = g.neighbors(v);
+      scratch.clear();
+      std::set_intersection(higher, nu.end(),
+                            std::upper_bound(nv.begin(), nv.end(), v),
+                            nv.end(), std::back_inserter(scratch));
+      m.triangles += scratch.size();
+    }
+  }
+  m.clustering =
+      wedges > 0 ? 3.0 * static_cast<double>(m.triangles) / wedges : 0;
+
+  // Connected components by BFS.
+  std::vector<bool> visited(g.num_vertices(), false);
+  std::queue<VertexId> queue;
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    if (visited[root]) continue;
+    ++m.connected_components;
+    visited[root] = true;
+    queue.push(root);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop();
+      for (VertexId u : g.neighbors(v)) {
+        if (!visited[u]) {
+          visited[u] = true;
+          queue.push(u);
+        }
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<std::size_t> DegreeHistogram(const Graph& g) {
+  std::vector<std::size_t> hist;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint32_t d = g.degree(v);
+    std::size_t bucket = 0;
+    while ((2u << bucket) <= d) ++bucket;
+    if (hist.size() <= bucket) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace gpm::graph

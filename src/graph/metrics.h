@@ -1,0 +1,44 @@
+#ifndef GAMMA_GRAPH_METRICS_H_
+#define GAMMA_GRAPH_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace gpm::graph {
+
+/// Summary statistics of a graph's structure — used to validate that the
+/// synthetic dataset proxies carry the skew their originals are known for
+/// (Table II bench) and by tests of the generators.
+struct GraphMetrics {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0;
+  double degree_p50 = 0;   ///< median degree
+  double degree_p99 = 0;   ///< 99th-percentile degree
+  /// Degree skew: max_degree / avg_degree (1 for regular graphs, large
+  /// for power-law graphs).
+  double skew = 0;
+  uint64_t triangles = 0;
+  /// Global clustering coefficient: 3 * triangles / wedges.
+  double clustering = 0;
+  std::size_t isolated_vertices = 0;
+  std::size_t connected_components = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes the metrics. Triangle counting is exact (ordered merge
+/// intersection), so keep inputs at bench scale.
+GraphMetrics ComputeMetrics(const Graph& g);
+
+/// Degree histogram in powers of two: bucket[i] counts vertices with
+/// degree in [2^i, 2^{i+1}).
+std::vector<std::size_t> DegreeHistogram(const Graph& g);
+
+}  // namespace gpm::graph
+
+#endif  // GAMMA_GRAPH_METRICS_H_

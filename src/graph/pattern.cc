@@ -1,0 +1,347 @@
+#include "graph/pattern.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace gpm::graph {
+
+Pattern::Pattern(int num_vertices) : n_(num_vertices) {
+  GAMMA_CHECK(num_vertices >= 1 && num_vertices <= kMaxVertices)
+      << "pattern size out of range: " << num_vertices;
+  labels_.fill(kAnyLabel);
+}
+
+int Pattern::num_edges() const {
+  int m = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      if (HasEdge(i, j)) ++m;
+    }
+  }
+  return m;
+}
+
+void Pattern::AddEdge(int i, int j) {
+  GAMMA_CHECK(i != j && i >= 0 && j >= 0 && i < n_ && j < n_)
+      << "bad pattern edge (" << i << "," << j << ")";
+  adj_[i] |= static_cast<uint8_t>(1u << j);
+  adj_[j] |= static_cast<uint8_t>(1u << i);
+}
+
+int Pattern::degree(int i) const {
+  return __builtin_popcount(adj_[i]);
+}
+
+bool Pattern::labeled() const {
+  for (int i = 0; i < n_; ++i) {
+    if (labels_[i] != kAnyLabel) return true;
+  }
+  return false;
+}
+
+std::vector<int> Pattern::BackwardNeighbors(int i, int limit) const {
+  std::vector<int> out;
+  for (int j = 0; j < limit; ++j) {
+    if (HasEdge(i, j)) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> Pattern::EdgeList() const {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      if (HasEdge(i, j)) edges.emplace_back(i, j);
+    }
+  }
+  return edges;
+}
+
+std::vector<int> Pattern::DefaultMatchingOrder() const {
+  std::vector<int> order;
+  std::vector<bool> matched(n_, false);
+  int start = 0;
+  for (int i = 1; i < n_; ++i) {
+    if (degree(i) > degree(start)) start = i;
+  }
+  order.push_back(start);
+  matched[start] = true;
+  while (static_cast<int>(order.size()) < n_) {
+    int best = -1, best_back = -1, best_deg = -1;
+    for (int i = 0; i < n_; ++i) {
+      if (matched[i]) continue;
+      int back = 0;
+      for (int j : order) {
+        if (HasEdge(i, j)) ++back;
+      }
+      if (back > best_back ||
+          (back == best_back && degree(i) > best_deg)) {
+        best = i;
+        best_back = back;
+        best_deg = degree(i);
+      }
+    }
+    order.push_back(best);
+    matched[best] = true;
+  }
+  return order;
+}
+
+Pattern Pattern::Permuted(const std::vector<int>& perm) const {
+  GAMMA_CHECK(static_cast<int>(perm.size()) == n_) << "bad permutation";
+  Pattern out(n_);
+  for (int i = 0; i < n_; ++i) {
+    out.labels_[perm[i]] = labels_[i];
+    for (int j = i + 1; j < n_; ++j) {
+      if (HasEdge(i, j)) out.AddEdge(perm[i], perm[j]);
+    }
+  }
+  return out;
+}
+
+int Pattern::CountAutomorphisms() const {
+  std::vector<int> perm(n_);
+  std::iota(perm.begin(), perm.end(), 0);
+  int count = 0;
+  do {
+    bool auto_ok = true;
+    for (int i = 0; i < n_ && auto_ok; ++i) {
+      if (labels_[perm[i]] != labels_[i]) auto_ok = false;
+      for (int j = i + 1; j < n_ && auto_ok; ++j) {
+        if (HasEdge(i, j) != HasEdge(perm[i], perm[j])) auto_ok = false;
+      }
+    }
+    if (auto_ok) ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return count;
+}
+
+namespace {
+
+// Backtracking injective embedding of `p` into `q` (both tiny).
+bool MapInto(const Pattern& p, const Pattern& q, int depth,
+             std::array<int, Pattern::kMaxVertices>& assignment,
+             uint8_t used_mask) {
+  if (depth == p.num_vertices()) return true;
+  for (int cand = 0; cand < q.num_vertices(); ++cand) {
+    if ((used_mask >> cand) & 1u) continue;
+    if (p.label(depth) != Pattern::kAnyLabel &&
+        p.label(depth) != q.label(cand)) {
+      continue;
+    }
+    bool ok = true;
+    for (int j = 0; j < depth && ok; ++j) {
+      if (p.HasEdge(depth, j) && !q.HasEdge(cand, assignment[j])) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    assignment[depth] = cand;
+    if (MapInto(p, q, depth + 1, assignment,
+                static_cast<uint8_t>(used_mask | (1u << cand)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Pattern::ContainedIn(const Pattern& other) const {
+  if (num_vertices() > other.num_vertices()) return false;
+  if (num_edges() > other.num_edges()) return false;
+  std::array<int, kMaxVertices> assignment{};
+  return MapInto(*this, other, 0, assignment, 0);
+}
+
+bool Pattern::ConnectedPrefix(const std::vector<int>& order) const {
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    bool connected = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (HasEdge(order[k], order[j])) connected = true;
+    }
+    if (!connected) return false;
+  }
+  return true;
+}
+
+std::string Pattern::DebugString() const {
+  std::ostringstream os;
+  os << "Pattern(n=" << n_ << ", edges={";
+  bool first = true;
+  for (auto [i, j] : EdgeList()) {
+    if (!first) os << ",";
+    os << i << "-" << j;
+    first = false;
+  }
+  os << "}";
+  if (labeled()) {
+    os << ", labels=[";
+    for (int i = 0; i < n_; ++i) {
+      if (i > 0) os << ",";
+      if (labels_[i] == kAnyLabel) {
+        os << "*";
+      } else {
+        os << labels_[i];
+      }
+    }
+    os << "]";
+  }
+  os << ")";
+  return os.str();
+}
+
+Pattern Pattern::Triangle() { return Clique(3); }
+
+Pattern Pattern::Clique(int k) {
+  Pattern p(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) p.AddEdge(i, j);
+  }
+  return p;
+}
+
+Pattern Pattern::Path(int k) {
+  Pattern p(k);
+  for (int i = 0; i + 1 < k; ++i) p.AddEdge(i, i + 1);
+  return p;
+}
+
+Pattern Pattern::Cycle(int k) {
+  Pattern p = Path(k);
+  p.AddEdge(k - 1, 0);
+  return p;
+}
+
+Pattern Pattern::Star(int k) {
+  Pattern p(k + 1);
+  for (int i = 1; i <= k; ++i) p.AddEdge(0, i);
+  return p;
+}
+
+Pattern Pattern::Diamond() {
+  Pattern p = Cycle(4);
+  p.AddEdge(0, 2);
+  return p;
+}
+
+Pattern Pattern::TailedTriangle() {
+  Pattern p(4);
+  p.AddEdge(0, 1);
+  p.AddEdge(1, 2);
+  p.AddEdge(2, 0);
+  p.AddEdge(0, 3);
+  return p;
+}
+
+Result<Pattern> ParsePattern(const std::string& text) {
+  std::string edges_part = text;
+  std::string labels_part;
+  if (auto semi = text.find(';'); semi != std::string::npos) {
+    edges_part = text.substr(0, semi);
+    labels_part = text.substr(semi + 1);
+    const std::string prefix = "labels=";
+    if (labels_part.rfind(prefix, 0) != 0) {
+      return Status::InvalidArgument("expected ';labels=...', got '" +
+                                     labels_part + "'");
+    }
+    labels_part = labels_part.substr(prefix.size());
+  }
+
+  // Parse edges "a-b,c-d,...".
+  std::vector<std::pair<int, int>> edges;
+  int max_vertex = -1;
+  std::istringstream es(edges_part);
+  std::string token;
+  while (std::getline(es, token, ',')) {
+    auto dash = token.find('-');
+    if (dash == std::string::npos) {
+      return Status::InvalidArgument("bad edge token '" + token + "'");
+    }
+    char* end = nullptr;
+    long a = std::strtol(token.c_str(), &end, 10);
+    if (end != token.c_str() + dash) {
+      return Status::InvalidArgument("bad vertex in '" + token + "'");
+    }
+    long b = std::strtol(token.c_str() + dash + 1, &end, 10);
+    if (*end != '\0') {
+      return Status::InvalidArgument("bad vertex in '" + token + "'");
+    }
+    if (a < 0 || b < 0 || a >= Pattern::kMaxVertices ||
+        b >= Pattern::kMaxVertices || a == b) {
+      return Status::InvalidArgument("vertex out of range in '" + token +
+                                     "'");
+    }
+    edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
+    max_vertex = std::max(max_vertex, static_cast<int>(std::max(a, b)));
+  }
+  if (edges.empty()) {
+    return Status::InvalidArgument("pattern needs at least one edge");
+  }
+
+  Pattern p(max_vertex + 1);
+  for (auto [a, b] : edges) p.AddEdge(a, b);
+
+  if (!labels_part.empty()) {
+    std::istringstream ls(labels_part);
+    int i = 0;
+    while (std::getline(ls, token, ',')) {
+      if (i > max_vertex) {
+        return Status::InvalidArgument("more labels than vertices");
+      }
+      if (token == "*") {
+        p.SetLabel(i, Pattern::kAnyLabel);
+      } else {
+        char* end = nullptr;
+        long l = std::strtol(token.c_str(), &end, 10);
+        if (*end != '\0' || l < 0) {
+          return Status::InvalidArgument("bad label '" + token + "'");
+        }
+        p.SetLabel(i, static_cast<Label>(l));
+      }
+      ++i;
+    }
+    if (i != max_vertex + 1) {
+      return Status::InvalidArgument("expected one label per vertex");
+    }
+  }
+  return p;
+}
+
+Pattern Pattern::SmQuery(int which, uint32_t num_labels) {
+  auto lbl = [num_labels](uint32_t i) { return i % num_labels; };
+  switch (which) {
+    case 1: {
+      Pattern p = Triangle();
+      p.SetLabel(0, lbl(0));
+      p.SetLabel(1, lbl(1));
+      p.SetLabel(2, lbl(2));
+      return p;
+    }
+    case 2: {
+      Pattern p = TailedTriangle();
+      p.SetLabel(0, lbl(0));
+      p.SetLabel(1, lbl(1));
+      p.SetLabel(2, lbl(0));
+      p.SetLabel(3, lbl(2));
+      return p;
+    }
+    case 3: {
+      Pattern p = Diamond();
+      p.SetLabel(0, lbl(0));
+      p.SetLabel(1, lbl(1));
+      p.SetLabel(2, lbl(1));
+      p.SetLabel(3, lbl(2));
+      return p;
+    }
+    default:
+      GAMMA_LOG(Fatal) << "unknown SM query " << which;
+  }
+  return Pattern(1);
+}
+
+}  // namespace gpm::graph

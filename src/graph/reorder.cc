@@ -1,0 +1,158 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gpm::graph {
+
+const char* ReorderStrategyName(ReorderStrategy strategy) {
+  switch (strategy) {
+    case ReorderStrategy::kDegreeDescending:
+      return "degree-desc";
+    case ReorderStrategy::kBfs:
+      return "bfs";
+    case ReorderStrategy::kRandom:
+      return "random";
+    case ReorderStrategy::kDegeneracy:
+      return "degeneracy";
+  }
+  return "?";
+}
+
+uint32_t DegeneracyOrder(const Graph& g, std::vector<VertexId>* order) {
+  const VertexId n = static_cast<VertexId>(g.num_vertices());
+  order->clear();
+  order->reserve(n);
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket queue over current degrees (classic O(V+E) peeling).
+  std::vector<std::vector<VertexId>> buckets(max_degree + 1);
+  std::vector<uint32_t> position(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    position[v] = static_cast<uint32_t>(buckets[degree[v]].size());
+    buckets[degree[v]].push_back(v);
+  }
+  std::vector<bool> removed(n, false);
+  uint32_t degeneracy = 0;
+  uint32_t cursor = 0;
+  while (order->size() < n) {
+    while (cursor <= max_degree && buckets[cursor].empty()) ++cursor;
+    // Peeling re-files vertices into lower buckets lazily; rewind when a
+    // lower bucket received fresh entries.
+    while (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+    VertexId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (removed[v] || degree[v] != cursor) continue;  // stale entry
+    removed[v] = true;
+    degeneracy = std::max(degeneracy, cursor);
+    order->push_back(v);
+    for (VertexId u : g.neighbors(v)) {
+      if (removed[u] || degree[u] == 0) continue;
+      --degree[u];
+      buckets[degree[u]].push_back(u);
+    }
+  }
+  return degeneracy;
+}
+
+std::vector<VertexId> ReorderPermutation(const Graph& g,
+                                         ReorderStrategy strategy,
+                                         uint64_t seed) {
+  const VertexId n = static_cast<VertexId>(g.num_vertices());
+  std::vector<VertexId> order(n);  // order[i] = old id placed at new id i
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (strategy) {
+    case ReorderStrategy::kDegreeDescending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&g](VertexId a, VertexId b) {
+                         return g.degree(a) > g.degree(b);
+                       });
+      break;
+    case ReorderStrategy::kBfs: {
+      std::vector<bool> visited(n, false);
+      std::vector<VertexId> bfs;
+      bfs.reserve(n);
+      // Start from the max-degree vertex of each component, by degree.
+      std::vector<VertexId> roots = order;
+      std::stable_sort(roots.begin(), roots.end(),
+                       [&g](VertexId a, VertexId b) {
+                         return g.degree(a) > g.degree(b);
+                       });
+      std::queue<VertexId> queue;
+      for (VertexId root : roots) {
+        if (visited[root]) continue;
+        visited[root] = true;
+        queue.push(root);
+        while (!queue.empty()) {
+          VertexId v = queue.front();
+          queue.pop();
+          bfs.push_back(v);
+          for (VertexId u : g.neighbors(v)) {
+            if (!visited[u]) {
+              visited[u] = true;
+              queue.push(u);
+            }
+          }
+        }
+      }
+      order = std::move(bfs);
+      break;
+    }
+    case ReorderStrategy::kRandom: {
+      Rng rng(seed);
+      for (VertexId i = n; i > 1; --i) {
+        VertexId j = static_cast<VertexId>(rng.NextBounded(i));
+        std::swap(order[i - 1], order[j]);
+      }
+      break;
+    }
+    case ReorderStrategy::kDegeneracy: {
+      DegeneracyOrder(g, &order);
+      break;
+    }
+  }
+
+  // Invert: perm[old] = new.
+  std::vector<VertexId> perm(n);
+  for (VertexId i = 0; i < n; ++i) perm[order[i]] = i;
+  return perm;
+}
+
+Graph ApplyPermutation(const Graph& g, const std::vector<VertexId>& perm) {
+  GAMMA_CHECK(perm.size() == g.num_vertices()) << "permutation size";
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) {
+        VertexId a = perm[u], b = perm[v];
+        edges.push_back({std::min(a, b), std::max(a, b)});
+      }
+    }
+  }
+  Graph out = Graph::FromEdges(static_cast<VertexId>(g.num_vertices()),
+                               edges);
+  if (g.labeled()) {
+    std::vector<Label> labels(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      labels[perm[v]] = g.label(v);
+    }
+    out.SetLabels(std::move(labels));
+  }
+  return out;
+}
+
+Graph Reorder(const Graph& g, ReorderStrategy strategy, uint64_t seed) {
+  return ApplyPermutation(g, ReorderPermutation(g, strategy, seed));
+}
+
+}  // namespace gpm::graph

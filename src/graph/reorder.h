@@ -1,0 +1,54 @@
+#ifndef GAMMA_GRAPH_REORDER_H_
+#define GAMMA_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace gpm::graph {
+
+/// Vertex reordering strategies. Reordering changes which adjacency lists
+/// share memory pages, and therefore how much the unified-memory page
+/// buffer and the access-heat policy can exploit locality (§VII-C cites
+/// graph reordering as a standard lever for improving UM/zero-copy
+/// performance).
+enum class ReorderStrategy {
+  /// Vertices sorted by decreasing degree: hub lists cluster into few hot
+  /// pages, which is the friendliest layout for the hybrid policy.
+  kDegreeDescending,
+  /// BFS order from the max-degree vertex: neighborhoods cluster, helping
+  /// spatial locality of extension frontiers.
+  kBfs,
+  /// A deterministic pseudo-random shuffle: the adversarial layout used by
+  /// the ablation benches.
+  kRandom,
+  /// Degeneracy (k-core peeling) order: repeatedly remove the minimum-
+  /// degree vertex. Ascending-id clique enumeration on a degeneracy-
+  /// ordered graph bounds every candidate intersection by the core number
+  /// — the standard orientation trick for k-clique on skewed graphs.
+  kDegeneracy,
+};
+
+const char* ReorderStrategyName(ReorderStrategy strategy);
+
+/// Computes the degeneracy (k-core peeling) order into `order` (peel
+/// sequence, first-removed first) and returns the graph's degeneracy —
+/// the maximum degree seen at removal time, which bounds the forward
+/// neighborhood of every vertex under this order.
+uint32_t DegeneracyOrder(const Graph& g, std::vector<VertexId>* order);
+
+/// Computes the permutation (old id -> new id) for `strategy`.
+std::vector<VertexId> ReorderPermutation(const Graph& g,
+                                         ReorderStrategy strategy,
+                                         uint64_t seed = 1);
+
+/// Returns `g` with vertices renumbered by `perm` (old id v becomes
+/// perm[v]); labels follow their vertices.
+Graph ApplyPermutation(const Graph& g, const std::vector<VertexId>& perm);
+
+/// Convenience: ReorderPermutation + ApplyPermutation.
+Graph Reorder(const Graph& g, ReorderStrategy strategy, uint64_t seed = 1);
+
+}  // namespace gpm::graph
+
+#endif  // GAMMA_GRAPH_REORDER_H_

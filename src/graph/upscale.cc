@@ -1,0 +1,43 @@
+#include "graph/upscale.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+
+namespace gpm::graph {
+
+Graph Upscale(const Graph& g, int factor, Rng* rng) {
+  GAMMA_CHECK(factor >= 1) << "upscale factor must be >= 1";
+  const VertexId n = static_cast<VertexId>(g.num_vertices());
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges() * factor);
+  std::vector<int> perm(factor);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      std::iota(perm.begin(), perm.end(), 0);
+      // Fisher-Yates using the shared RNG: a fresh permutation per edge.
+      for (int i = factor - 1; i > 0; --i) {
+        int j = static_cast<int>(rng->NextBounded(i + 1));
+        std::swap(perm[i], perm[j]);
+      }
+      for (int i = 0; i < factor; ++i) {
+        VertexId cu = u + static_cast<VertexId>(i) * n;
+        VertexId cv = v + static_cast<VertexId>(perm[i]) * n;
+        edges.push_back({std::min(cu, cv), std::max(cu, cv)});
+      }
+    }
+  }
+  Graph scaled = Graph::FromEdges(n * factor, edges);
+  if (g.labeled()) {
+    std::vector<Label> labels(scaled.num_vertices());
+    for (std::size_t v = 0; v < scaled.num_vertices(); ++v) {
+      labels[v] = g.label(static_cast<VertexId>(v % n));
+    }
+    scaled.SetLabels(std::move(labels));
+  }
+  return scaled;
+}
+
+}  // namespace gpm::graph

@@ -1,0 +1,20 @@
+#ifndef GAMMA_GRAPH_UPSCALE_H_
+#define GAMMA_GRAPH_UPSCALE_H_
+
+#include "common/random.h"
+#include "graph/csr.h"
+
+namespace gpm::graph {
+
+/// Graph upscaling [33], used by the paper to build com-lj*8 and soc-Live*5.
+///
+/// Produces a graph with `factor` times the vertices and edges of `g` while
+/// preserving the degree distribution: each vertex v becomes `factor` clones
+/// v_0..v_{factor-1}; for each original edge (u, v), clone i of u is
+/// connected to clone pi_e(i) of v, where pi_e is a random permutation drawn
+/// per edge. Labels are inherited by clones.
+Graph Upscale(const Graph& g, int factor, Rng* rng);
+
+}  // namespace gpm::graph
+
+#endif  // GAMMA_GRAPH_UPSCALE_H_

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "algos/fpm.h"
+#include "algos/kclique.h"
+#include "algos/motif.h"
+#include "algos/subgraph_matching.h"
+#include "baselines/cpu_ref.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/isomorphism.h"
+
+namespace gpm::algos {
+namespace {
+
+gpusim::SimParams TestParams() {
+  gpusim::SimParams p;
+  p.device_memory_bytes = 16 << 20;
+  p.um_device_buffer_bytes = 2 << 20;
+  return p;
+}
+
+graph::Graph RandomLabeled(uint64_t seed, graph::VertexId n,
+                           std::size_t m) {
+  Rng rng(seed);
+  graph::Graph g = graph::ErdosRenyi(n, m, &rng);
+  graph::AssignLabelsZipf(&g, 3, 0.3, &rng);
+  g.EnsureEdgeIndex();
+  return g;
+}
+
+TEST(KCliqueTest, TrianglesMatchOracle) {
+  graph::Graph g = RandomLabeled(1, 80, 400);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = CountKCliques(&engine, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().cliques,
+            graph::CountInstances(g, graph::Pattern::Triangle()));
+  EXPECT_GT(r.value().sim_millis, 0.0);
+}
+
+TEST(KCliqueTest, FourCliquesMatchOracle) {
+  graph::Graph g = RandomLabeled(2, 60, 500);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = CountKCliques(&engine, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().cliques,
+            graph::CountInstances(g, graph::Pattern::Clique(4)));
+}
+
+TEST(KCliqueTest, CountOnlyLastMatchesMaterialized) {
+  graph::Graph g = RandomLabeled(42, 70, 500);
+  gpusim::Device d1(TestParams()), d2(TestParams());
+  core::GammaEngine e1(&d1, &g, {}), e2(&d2, &g, {});
+  ASSERT_TRUE(e1.Prepare().ok());
+  ASSERT_TRUE(e2.Prepare().ok());
+  auto materialized = CountKCliques(&e1, 4);
+  auto counted = CountKCliques(&e2, 4, /*count_only_last=*/true);
+  ASSERT_TRUE(materialized.ok());
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted.value().cliques, materialized.value().cliques);
+  // The count-only run skips the final flush: strictly less D2H traffic.
+  EXPECT_LT(d2.stats().explicit_d2h_bytes, d1.stats().explicit_d2h_bytes);
+  EXPECT_LE(counted.value().sim_millis, materialized.value().sim_millis);
+}
+
+TEST(KCliqueTest, CountOnlyWorksForEdges) {
+  graph::Graph g = RandomLabeled(43, 40, 150);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = CountKCliques(&engine, 2, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().cliques, g.num_edges());
+}
+
+TEST(KCliqueTest, TwoCliquesAreEdges) {
+  graph::Graph g = RandomLabeled(3, 50, 200);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = CountKCliques(&engine, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().cliques, g.num_edges());
+}
+
+TEST(WojTest, UnlabeledTriangleQuery) {
+  graph::Graph g = RandomLabeled(4, 70, 350);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = MatchWoj(&engine, graph::Pattern::Triangle());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().embeddings,
+            graph::CountEmbeddings(g, graph::Pattern::Triangle()));
+  EXPECT_EQ(r.value().instances,
+            graph::CountInstances(g, graph::Pattern::Triangle()));
+}
+
+TEST(WojTest, LabeledQueriesMatchOracle) {
+  graph::Graph g = RandomLabeled(5, 90, 450);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  for (int q = 1; q <= 3; ++q) {
+    graph::Pattern query = graph::Pattern::SmQuery(q, g.num_labels());
+    auto r = MatchWoj(&engine, query);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().embeddings, graph::CountEmbeddings(g, query))
+        << "query " << q;
+  }
+}
+
+TEST(WojTest, StarAndCycleQueries) {
+  graph::Graph g = RandomLabeled(6, 50, 220);
+  for (const graph::Pattern& q :
+       {graph::Pattern::Star(3), graph::Pattern::Cycle(4),
+        graph::Pattern::Diamond()}) {
+    gpusim::Device device(TestParams());
+    core::GammaEngine engine(&device, &g, {});
+    ASSERT_TRUE(engine.Prepare().ok());
+    auto r = MatchWoj(&engine, q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().embeddings, graph::CountEmbeddings(g, q))
+        << q.DebugString();
+  }
+}
+
+TEST(BinaryJoinTest, AgreesWithWojOnInstances) {
+  graph::Graph g = RandomLabeled(7, 40, 150);
+  for (const graph::Pattern& q :
+       {graph::Pattern::Triangle(), graph::Pattern::Path(3)}) {
+    gpusim::Device d1(TestParams()), d2(TestParams());
+    core::GammaEngine e1(&d1, &g, {}), e2(&d2, &g, {});
+    ASSERT_TRUE(e1.Prepare().ok());
+    ASSERT_TRUE(e2.Prepare().ok());
+    auto woj = MatchWoj(&e1, q);
+    auto bj = MatchBinaryJoin(&e2, q);
+    ASSERT_TRUE(woj.ok());
+    ASSERT_TRUE(bj.ok());
+    EXPECT_EQ(bj.value().instances, woj.value().instances)
+        << q.DebugString();
+  }
+}
+
+TEST(MatchesQueryPrefixTest, TriangleSequence) {
+  graph::Graph g = RandomLabeled(8, 30, 100);
+  graph::Pattern tri = graph::Pattern::Triangle();
+  std::vector<std::pair<int, int>> qedges = tri.EdgeList();
+  // Any real triangle's edges in connected order must match.
+  std::vector<std::vector<graph::VertexId>> embeddings;
+  graph::EnumerateEmbeddings(g, tri, &embeddings);
+  if (!embeddings.empty()) {
+    auto& e = embeddings.front();
+    std::vector<graph::EdgeId> edges{
+        g.FindEdgeId(e[0], e[1]), g.FindEdgeId(e[0], e[2]),
+        g.FindEdgeId(e[1], e[2])};
+    EXPECT_TRUE(MatchesQueryPrefix(g, edges, tri, qedges));
+  }
+}
+
+TEST(FpmTest, MatchesEmbeddingCentricReference) {
+  graph::Graph g = RandomLabeled(9, 40, 120);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  FpmOptions options{.max_edges = 3, .min_support = 3};
+  auto r = MineFrequentPatterns(&engine, options);
+  ASSERT_TRUE(r.ok());
+
+  auto ref = baselines::CpuFpmEmbeddingCentric(g, 3, 3,
+                                               baselines::CpuModel{});
+  EXPECT_EQ(r.value().patterns.size(), ref.patterns.size());
+  for (const auto& e : ref.patterns.entries()) {
+    const core::PatternEntry* mine = r.value().patterns.Find(e.code);
+    ASSERT_NE(mine, nullptr) << e.exemplar.DebugString();
+    EXPECT_EQ(mine->support, e.support) << e.exemplar.DebugString();
+  }
+}
+
+TEST(FpmTest, MinSupportOnePreservesEverything) {
+  graph::Graph g = RandomLabeled(10, 30, 80);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = MineFrequentPatterns(&engine,
+                                {.max_edges = 2, .min_support = 1});
+  ASSERT_TRUE(r.ok());
+  // Level-1 supports must sum to |E|.
+  uint64_t single_edge_total = 0;
+  for (const auto& e : r.value().patterns.entries()) {
+    if (e.exemplar.num_edges() == 1) single_edge_total += e.support;
+  }
+  EXPECT_EQ(single_edge_total, g.num_edges());
+}
+
+TEST(FpmTest, HigherThresholdNeverAddsPatterns) {
+  graph::Graph g = RandomLabeled(11, 50, 150);
+  std::size_t prev = SIZE_MAX;
+  for (uint64_t sup : {1, 4, 16, 64}) {
+    gpusim::Device device(TestParams());
+    core::GammaEngine engine(&device, &g, {});
+    ASSERT_TRUE(engine.Prepare().ok());
+    auto r = MineFrequentPatterns(&engine,
+                                  {.max_edges = 2, .min_support = sup});
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r.value().patterns.size(), prev);
+    prev = r.value().patterns.size();
+  }
+}
+
+TEST(MotifTest, ConnectedOrderings) {
+  EXPECT_EQ(CountConnectedOrderings(graph::Pattern::Triangle()), 6u);
+  EXPECT_EQ(CountConnectedOrderings(graph::Pattern::Path(3)), 4u);
+  EXPECT_EQ(CountConnectedOrderings(graph::Pattern::Clique(4)), 24u);
+  // Star(3): center+3 leaves; orderings counted by brute force below.
+  uint64_t star = CountConnectedOrderings(graph::Pattern::Star(3));
+  EXPECT_GT(star, 0u);
+  EXPECT_LT(star, 24u);
+}
+
+TEST(MotifTest, ThreeMotifCountsMatchOracle) {
+  graph::Graph g = RandomLabeled(12, 60, 250);
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto r = CountMotifs(&engine, 3);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().motifs.size(), 2u);  // wedge + triangle
+  uint64_t triangles =
+      graph::CountInstances(g, graph::Pattern::Triangle());
+  uint64_t wedges = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint64_t d = g.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  // Induced wedges exclude triangles (each triangle has 3 wedges).
+  uint64_t induced_wedges = wedges - 3 * triangles;
+  for (const auto& [pattern, count] : r.value().motifs) {
+    if (pattern.num_edges() == 3) {
+      EXPECT_EQ(count, triangles);
+    } else {
+      EXPECT_EQ(count, induced_wedges);
+    }
+  }
+}
+
+TEST(DatasetSmokeTest, SmallProxyEndToEnd) {
+  graph::Graph g = graph::MakeDataset("ER");
+  g.EnsureEdgeIndex();
+  gpusim::Device device(TestParams());
+  core::GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto tri = CountKCliques(&engine, 3);
+  ASSERT_TRUE(tri.ok());
+  EXPECT_EQ(tri.value().cliques,
+            graph::CountInstances(g, graph::Pattern::Triangle()));
+}
+
+}  // namespace
+}  // namespace gpm::algos

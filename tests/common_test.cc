@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/scan.h"
+#include "common/status.h"
+
+namespace gpm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::DeviceOutOfMemory("16 bytes short");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kDeviceOutOfMemory);
+  EXPECT_EQ(s.message(), "16 bytes short");
+  EXPECT_EQ(s.ToString(), "DEVICE_OUT_OF_MEMORY: 16 bytes short");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (ErrorCode c :
+       {ErrorCode::kOk, ErrorCode::kDeviceOutOfMemory,
+        ErrorCode::kHostOutOfMemory, ErrorCode::kInvalidArgument,
+        ErrorCode::kNotFound, ErrorCode::kFailedPrecondition,
+        ErrorCode::kUnimplemented, ErrorCode::kInternal}) {
+    EXPECT_STRNE(ErrorCodeName(c), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Mix64Test, InjectiveOnSmallRange) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(Mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ScanTest, ExclusiveScanBasic) {
+  std::vector<int> in{3, 1, 4, 1, 5};
+  std::vector<int> out;
+  int total = ExclusiveScan(in, &out);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 4, 8, 9}));
+}
+
+TEST(ScanTest, ExclusiveScanEmpty) {
+  std::vector<int> in, out;
+  EXPECT_EQ(ExclusiveScan(in, &out), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ScanTest, InPlaceMatchesOutOfPlace) {
+  std::vector<uint64_t> v{2, 7, 1, 8, 2, 8};
+  std::vector<uint64_t> expected;
+  ExclusiveScan(v, &expected);
+  uint64_t total = ExclusiveScanInPlace(&v);
+  EXPECT_EQ(total, 28u);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ScanTest, InclusiveScan) {
+  std::vector<int> in{1, 2, 3};
+  std::vector<int> out;
+  InclusiveScan(in, &out);
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 6}));
+}
+
+}  // namespace
+}  // namespace gpm

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+#include "graph/upscale.h"
+
+namespace gpm::graph {
+namespace {
+
+TEST(ErdosRenyiTest, ProducesRequestedEdges) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(100, 300, &rng);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(ErdosRenyiTest, CapsAtCompleteGraph) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(5, 1000, &rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  Graph g1 = ErdosRenyi(50, 100, &a);
+  Graph g2 = ErdosRenyi(50, 100, &b);
+  EXPECT_EQ(g1.col(), g2.col());
+}
+
+TEST(RmatTest, SkewedDegrees) {
+  Rng rng(3);
+  Graph g = Rmat(10, 4000, &rng);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_GT(g.num_edges(), 3000u);  // some dedup loss is fine
+  // R-MAT hubs: max degree far above average.
+  EXPECT_GT(g.max_degree(), 4 * g.average_degree());
+}
+
+TEST(PowerLawTest, HeavyHead) {
+  Rng rng(5);
+  Graph g = PowerLaw(500, 2000, 0.9, &rng);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_GT(g.num_edges(), 1500u);
+  // Low-id vertices should be hubs under the (i+1)^-alpha weighting.
+  uint64_t head = 0, tail = 0;
+  for (VertexId v = 0; v < 50; ++v) head += g.degree(v);
+  for (VertexId v = 450; v < 500; ++v) tail += g.degree(v);
+  EXPECT_GT(head, tail * 2);
+}
+
+TEST(LabelsTest, ZipfAssignsAllInRange) {
+  Rng rng(7);
+  Graph g = ErdosRenyi(200, 400, &rng);
+  AssignLabelsZipf(&g, 4, 0.5, &rng);
+  ASSERT_TRUE(g.labeled());
+  EXPECT_LE(g.num_labels(), 4u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(g.label(v), 4u);
+  }
+}
+
+TEST(UpscaleTest, ScalesVerticesAndEdges) {
+  Rng rng(11);
+  Graph base = ErdosRenyi(50, 100, &rng);
+  AssignLabelsZipf(&base, 3, 0.0, &rng);
+  Graph big = Upscale(base, 4, &rng);
+  EXPECT_EQ(big.num_vertices(), 200u);
+  EXPECT_EQ(big.num_edges(), 400u);
+}
+
+TEST(UpscaleTest, PreservesDegreeDistribution) {
+  Rng rng(13);
+  Graph base = PowerLaw(100, 400, 0.8, &rng);
+  Graph big = Upscale(base, 3, &rng);
+  // Each clone keeps its original's degree.
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(big.degree(v + c * base.num_vertices()), base.degree(v));
+    }
+  }
+}
+
+TEST(UpscaleTest, ClonesInheritLabels) {
+  Rng rng(17);
+  Graph base = ErdosRenyi(20, 40, &rng);
+  AssignLabelsZipf(&base, 4, 0.5, &rng);
+  Graph big = Upscale(base, 2, &rng);
+  for (VertexId v = 0; v < base.num_vertices(); ++v) {
+    EXPECT_EQ(big.label(v + base.num_vertices()), base.label(v));
+  }
+}
+
+TEST(DatasetsTest, AllTenListed) {
+  EXPECT_EQ(AllDatasets().size(), 10u);
+  EXPECT_EQ(DatasetByName("CP").full_name, "cit-Patent");
+  EXPECT_EQ(DatasetByName("TW").full_name, "twitter_rv");
+}
+
+TEST(DatasetsTest, SmallProxiesMaterialize) {
+  for (const char* name : {"ER", "EA", "CP", "CL"}) {
+    Graph g = MakeDataset(name);
+    const DatasetInfo& info = DatasetByName(name);
+    EXPECT_GT(g.num_edges(), info.proxy_edges / 3) << name;
+    EXPECT_TRUE(g.labeled()) << name;
+  }
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  Graph a = MakeDataset("EA", 99);
+  Graph b = MakeDataset("EA", 99);
+  EXPECT_EQ(a.col(), b.col());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(LoaderTest, TextRoundTrip) {
+  Rng rng(23);
+  Graph g = ErdosRenyi(30, 60, &rng);
+  std::string path = testing::TempDir() + "/gamma_edges.txt";
+  ASSERT_TRUE(SaveEdgeListText(g, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, TextSkipsCommentsAndCompacts) {
+  std::string path = testing::TempDir() + "/gamma_comments.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# comment\n100 200\n% other comment\n200 300\n", f);
+    std::fclose(f);
+  }
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_vertices(), 3u);  // ids compacted
+  EXPECT_EQ(loaded.value().num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, BinaryRoundTripWithLabels) {
+  Rng rng(29);
+  Graph g = ErdosRenyi(40, 80, &rng);
+  AssignLabelsZipf(&g, 5, 0.3, &rng);
+  std::string path = testing::TempDir() + "/gamma_graph.bin";
+  ASSERT_TRUE(SaveBinary(g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().col(), g.col());
+  EXPECT_EQ(loaded.value().labels(), g.labels());
+  std::remove(path.c_str());
+}
+
+TEST(LoaderTest, MissingFileReturnsNotFound) {
+  auto loaded = LoadEdgeListText("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(LoaderTest, BadMagicRejected) {
+  std::string path = testing::TempDir() + "/gamma_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a gamma file", f);
+    std::fclose(f);
+  }
+  auto loaded = LoadBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpm::graph

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/device.h"
+#include "gpusim/host_array.h"
+
+namespace gpm::gpusim {
+namespace {
+
+SimParams SmallParams() {
+  SimParams p;
+  p.device_memory_bytes = 1 << 20;       // 1 MiB
+  p.um_device_buffer_bytes = 64 << 10;   // 16 pages
+  return p;
+}
+
+TEST(DeviceMemoryTest, AllocateAndFree) {
+  DeviceMemory mem(1000);
+  auto a = mem.Allocate(400);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(mem.used_bytes(), 400u);
+  auto b = mem.Allocate(600);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(mem.available_bytes(), 0u);
+  mem.Free(a.value());
+  EXPECT_EQ(mem.used_bytes(), 600u);
+}
+
+TEST(DeviceMemoryTest, OomWhenExceedingCapacity) {
+  DeviceMemory mem(1000);
+  auto a = mem.Allocate(800);
+  ASSERT_TRUE(a.ok());
+  auto b = mem.Allocate(300);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), ErrorCode::kDeviceOutOfMemory);
+}
+
+TEST(DeviceMemoryTest, PeakTracksHighWater) {
+  DeviceMemory mem(1000);
+  auto a = mem.Allocate(700);
+  mem.Free(a.value());
+  auto b = mem.Allocate(100);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(mem.peak_used_bytes(), 700u);
+}
+
+TEST(DeviceMemoryTest, ResizeGrowsAndShrinks) {
+  DeviceMemory mem(1000);
+  auto a = mem.Allocate(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(mem.Resize(a.value(), 900).ok());
+  EXPECT_EQ(mem.used_bytes(), 900u);
+  EXPECT_FALSE(mem.Resize(a.value(), 1100).ok());
+  EXPECT_TRUE(mem.Resize(a.value(), 50).ok());
+  EXPECT_EQ(mem.used_bytes(), 50u);
+}
+
+TEST(DeviceBufferTest, RaiiFreesOnDestruction) {
+  DeviceMemory mem(1000);
+  {
+    auto buf = DeviceBuffer::Make(&mem, 500);
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(mem.used_bytes(), 500u);
+  }
+  EXPECT_EQ(mem.used_bytes(), 0u);
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  DeviceMemory mem(1000);
+  auto buf = DeviceBuffer::Make(&mem, 500);
+  ASSERT_TRUE(buf.ok());
+  DeviceBuffer other = std::move(buf).value();
+  EXPECT_TRUE(other.valid());
+  other.Release();
+  EXPECT_EQ(mem.used_bytes(), 0u);
+}
+
+TEST(UnifiedMemoryTest, FaultThenHit) {
+  SimParams p = SmallParams();
+  DeviceStats stats;
+  UnifiedMemory um(p, &stats);
+  auto region = um.Register(1 << 20);
+  AccessCharge miss = um.Access(region, 0, 64);
+  EXPECT_EQ(stats.um_page_faults, 1u);
+  EXPECT_EQ(miss.pcie_bytes, p.um_page_bytes);
+  AccessCharge hit = um.Access(region, 128, 64);
+  EXPECT_EQ(stats.um_page_faults, 1u);
+  EXPECT_EQ(stats.um_page_hits, 1u);
+  EXPECT_EQ(hit.pcie_bytes, 0u);
+  EXPECT_LT(hit.cycles, miss.cycles);
+}
+
+TEST(UnifiedMemoryTest, SpanningAccessTouchesAllPages) {
+  SimParams p = SmallParams();
+  DeviceStats stats;
+  UnifiedMemory um(p, &stats);
+  auto region = um.Register(1 << 20);
+  um.Access(region, p.um_page_bytes - 8, 16);  // crosses a page boundary
+  EXPECT_EQ(stats.um_page_faults, 2u);
+}
+
+TEST(UnifiedMemoryTest, LruEvictsOldest) {
+  SimParams p = SmallParams();  // 16-page buffer
+  DeviceStats stats;
+  UnifiedMemory um(p, &stats);
+  auto region = um.Register(1 << 20);
+  for (int i = 0; i < 17; ++i) {
+    um.Access(region, i * p.um_page_bytes, 8);
+  }
+  EXPECT_EQ(stats.um_evictions, 1u);
+  EXPECT_FALSE(um.IsResident(region, 0));      // page 0 evicted
+  EXPECT_TRUE(um.IsResident(region, 16 * p.um_page_bytes));
+}
+
+TEST(UnifiedMemoryTest, TouchRefreshesLruPosition) {
+  SimParams p = SmallParams();
+  DeviceStats stats;
+  UnifiedMemory um(p, &stats);
+  auto region = um.Register(1 << 20);
+  for (int i = 0; i < 16; ++i) um.Access(region, i * p.um_page_bytes, 8);
+  um.Access(region, 0, 8);  // refresh page 0
+  um.Access(region, 16 * p.um_page_bytes, 8);  // evicts page 1, not 0
+  EXPECT_TRUE(um.IsResident(region, 0));
+  EXPECT_FALSE(um.IsResident(region, p.um_page_bytes));
+}
+
+TEST(UnifiedMemoryTest, ShrinkInvalidatesStalePages) {
+  SimParams p = SmallParams();
+  DeviceStats stats;
+  UnifiedMemory um(p, &stats);
+  auto region = um.Register(8 * p.um_page_bytes);
+  um.Access(region, 7 * p.um_page_bytes, 8);
+  EXPECT_TRUE(um.IsResident(region, 7 * p.um_page_bytes));
+  um.ResizeRegion(region, 2 * p.um_page_bytes);
+  EXPECT_FALSE(um.IsResident(region, 7 * p.um_page_bytes));
+}
+
+TEST(DeviceTest, UmBufferReservedAtConstruction) {
+  Device device(SmallParams());
+  EXPECT_EQ(device.memory().used_bytes(), SmallParams().um_device_buffer_bytes);
+}
+
+TEST(DeviceTest, KernelAdvancesClock) {
+  Device device(SmallParams());
+  double before = device.now_cycles();
+  device.LaunchKernel(4, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(1000);
+  });
+  EXPECT_GT(device.now_cycles(), before);
+  EXPECT_EQ(device.stats().kernel_launches, 1u);
+  EXPECT_EQ(device.stats().warp_tasks, 4u);
+}
+
+TEST(DeviceTest, MakespanScalesWithWarpSlots) {
+  SimParams one = SmallParams();
+  one.num_warp_slots = 1;
+  SimParams many = SmallParams();
+  many.num_warp_slots = 64;
+  Device d1(one), d64(many);
+  auto work = [](WarpCtx& w, std::size_t) { w.ChargeCompute(10000); };
+  double t1 = d1.LaunchKernel(64, work);
+  double t64 = d64.LaunchKernel(64, work);
+  // 64 equal tasks: serial is ~64x the parallel makespan (plus overhead).
+  EXPECT_GT(t1, t64 * 30);
+}
+
+TEST(DeviceTest, PcieOverlapsWithCompute) {
+  Device device(SmallParams());
+  // Compute-heavy kernel: PCIe traffic is hidden under the makespan.
+  double compute_only = device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(1e7);
+  });
+  double with_traffic = device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(1e7);
+    w.ZeroCopyRead(1024);
+  });
+  EXPECT_NEAR(compute_only, with_traffic, compute_only * 0.01);
+}
+
+TEST(DeviceTest, ExplicitCopyChargesLink) {
+  Device device(SmallParams());
+  double cycles = device.CopyHostToDevice(16 << 10);
+  EXPECT_GT(cycles, 0);
+  EXPECT_EQ(device.stats().explicit_h2d_bytes, 16u << 10);
+}
+
+TEST(WarpCtxTest, ZeroCopyCountsTransactions) {
+  Device device(SmallParams());
+  device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+    w.ZeroCopyRead(300);  // 3 x 128B transactions
+  });
+  EXPECT_EQ(device.stats().zc_transactions, 3u);
+  EXPECT_EQ(device.stats().zc_bytes, 384u);
+}
+
+TEST(WarpCtxTest, SimtWorkRoundsUpToWarpSteps) {
+  Device device(SmallParams());
+  double t33 = 0, t1 = 0;
+  device.LaunchKernel(1, [&](WarpCtx& w, std::size_t) {
+    w.ChargeSimtWork(33);  // 2 steps of 32
+    t33 = w.cycles();
+  });
+  device.LaunchKernel(1, [&](WarpCtx& w, std::size_t) {
+    w.ChargeSimtWork(1);  // 1 step
+    t1 = w.cycles();
+  });
+  EXPECT_DOUBLE_EQ(t33, 2.0);
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+}
+
+TEST(HostArrayTest, TracksHostMemory) {
+  Device device(SmallParams());
+  {
+    HostArray<uint32_t> arr(&device);
+    arr.Assign(std::vector<uint32_t>(1000, 7));
+    EXPECT_EQ(device.host_tracker().current_bytes(), 4000u);
+  }
+  EXPECT_EQ(device.host_tracker().current_bytes(), 0u);
+  EXPECT_EQ(device.host_tracker().peak_bytes(), 4000u);
+}
+
+TEST(HostArrayTest, ReadReturnsLiveData) {
+  Device device(SmallParams());
+  HostArray<uint32_t> arr(&device);
+  arr.Assign({10, 20, 30, 40});
+  device.LaunchKernel(1, [&](WarpCtx& w, std::size_t) {
+    auto span = arr.Read(w, 1, 2, AccessMode::kZeroCopy);
+    EXPECT_EQ(span[0], 20u);
+    EXPECT_EQ(span[1], 30u);
+    EXPECT_EQ(arr.ReadOne(w, 3, AccessMode::kUnified), 40u);
+  });
+  EXPECT_GT(device.stats().zc_transactions, 0u);
+  EXPECT_GT(device.stats().um_page_faults, 0u);
+}
+
+TEST(DeviceTest, TraceRecordsNamedKernels) {
+  Device device(SmallParams());
+  device.set_trace_enabled(true);
+  device.LaunchKernel(3, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(100);
+  }, "alpha");
+  device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+    w.ZeroCopyRead(1024);
+  }, "beta");
+  ASSERT_EQ(device.kernel_trace().size(), 2u);
+  EXPECT_EQ(device.kernel_trace()[0].name, "alpha");
+  EXPECT_EQ(device.kernel_trace()[0].tasks, 3u);
+  EXPECT_GT(device.kernel_trace()[0].total_cycles, 0.0);
+  EXPECT_EQ(device.kernel_trace()[1].name, "beta");
+  EXPECT_GT(device.kernel_trace()[1].pcie_cycles, 0.0);
+  device.ClearTrace();
+  EXPECT_TRUE(device.kernel_trace().empty());
+}
+
+TEST(DeviceTest, TraceOffByDefault) {
+  Device device(SmallParams());
+  device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(1);
+  });
+  EXPECT_TRUE(device.kernel_trace().empty());
+}
+
+TEST(SimParamsTest, PresetsAreConsistent) {
+  SimParams v100 = SimParams::V100();
+  EXPECT_EQ(v100.device_memory_bytes, 16ull << 30);
+  EXPECT_GT(v100.num_warp_slots, SimParams().num_warp_slots);
+  SimParams bench = SimParams::BenchScale();
+  EXPECT_LT(bench.device_memory_bytes, v100.device_memory_bytes);
+  // Both presets keep the page buffer inside device memory.
+  EXPECT_LT(bench.um_device_buffer_bytes, bench.device_memory_bytes);
+  EXPECT_LT(v100.um_device_buffer_bytes, v100.device_memory_bytes);
+  // A device can actually be built from each preset.
+  Device d1(bench);
+  Device d2(v100);
+  EXPECT_GT(d1.memory().available_bytes(), 0u);
+  EXPECT_GT(d2.memory().available_bytes(), 0u);
+}
+
+TEST(StatsTest, ToStringMentionsCounters) {
+  DeviceStats stats;
+  stats.um_page_faults = 5;
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("um_faults=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpm::gpusim

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/intersection.h"
+#include "gpusim/device.h"
+
+namespace gpm::core {
+namespace {
+
+using graph::VertexId;
+
+gpusim::SimParams SmallParams() {
+  gpusim::SimParams p;
+  p.device_memory_bytes = 1 << 20;
+  p.um_device_buffer_bytes = 0;
+  return p;
+}
+
+std::vector<VertexId> Evens(std::size_t n) {
+  std::vector<VertexId> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<VertexId>(2 * i);
+  return v;
+}
+
+std::vector<VertexId> Multiples(std::size_t n, VertexId step) {
+  std::vector<VertexId> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<VertexId>(step * i);
+  }
+  return v;
+}
+
+template <typename Fn>
+std::pair<std::vector<VertexId>, double> RunIntersect(
+    Fn&& fn, const std::vector<VertexId>& a,
+    const std::vector<VertexId>& b) {
+  gpusim::Device device(SmallParams());
+  std::vector<VertexId> out;
+  double cycles = 0;
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    fn(w, a, b, &out);
+    cycles = w.cycles();
+  });
+  return {out, cycles};
+}
+
+TEST(IntersectionTest, MergeAndGallopingAgree) {
+  auto a = Evens(100);                // 0,2,...,198
+  auto b = Multiples(40, 3);          // 0,3,...,117
+  auto [merge_out, merge_cycles] = RunIntersect(IntersectSorted, a, b);
+  auto [gallop_out, gallop_cycles] =
+      RunIntersect(IntersectGalloping, a, b);
+  EXPECT_EQ(merge_out, gallop_out);
+  // Multiples of 6 up to min(198, 117).
+  std::vector<VertexId> expected;
+  for (VertexId x = 0; x <= 117; x += 6) expected.push_back(x);
+  EXPECT_EQ(merge_out, expected);
+}
+
+TEST(IntersectionTest, GallopingCheaperWhenLopsided) {
+  auto small = Multiples(8, 100);     // 8 elements
+  auto large = Evens(100000);         // 100k elements
+  auto [m_out, merge_cycles] = RunIntersect(IntersectSorted, small, large);
+  auto [g_out, gallop_cycles] =
+      RunIntersect(IntersectGalloping, small, large);
+  EXPECT_EQ(m_out, g_out);
+  EXPECT_LT(gallop_cycles, merge_cycles / 10);
+}
+
+TEST(IntersectionTest, MergeCheaperWhenBalanced) {
+  auto a = Evens(5000);
+  auto b = Multiples(5000, 3);
+  auto [m_out, merge_cycles] = RunIntersect(IntersectSorted, a, b);
+  auto [g_out, gallop_cycles] =
+      RunIntersect(IntersectGalloping, a, b);
+  EXPECT_EQ(m_out, g_out);
+  EXPECT_LT(merge_cycles, gallop_cycles);
+}
+
+TEST(IntersectionTest, AdaptivePicksTheCheaper) {
+  // Lopsided: adaptive should cost like galloping.
+  auto small = Multiples(8, 100);
+  auto large = Evens(100000);
+  auto [a_out, adaptive_cycles] =
+      RunIntersect(IntersectAdaptive, small, large);
+  auto [g_out, gallop_cycles] =
+      RunIntersect(IntersectGalloping, small, large);
+  EXPECT_EQ(a_out, g_out);
+  EXPECT_DOUBLE_EQ(adaptive_cycles, gallop_cycles);
+
+  // Balanced: adaptive should cost like merge.
+  auto a = Evens(5000);
+  auto b = Multiples(5000, 3);
+  auto [a2_out, adaptive2] = RunIntersect(IntersectAdaptive, a, b);
+  auto [m2_out, merge2] = RunIntersect(IntersectSorted, a, b);
+  EXPECT_EQ(a2_out, m2_out);
+  EXPECT_DOUBLE_EQ(adaptive2, merge2);
+}
+
+TEST(IntersectionTest, EmptyInputs) {
+  std::vector<VertexId> empty;
+  auto a = Evens(10);
+  auto [out1, c1] = RunIntersect(IntersectAdaptive, empty, a);
+  EXPECT_TRUE(out1.empty());
+  auto [out2, c2] = RunIntersect(IntersectAdaptive, a, empty);
+  EXPECT_TRUE(out2.empty());
+  auto [out3, c3] = RunIntersect(IntersectSorted, empty, empty);
+  EXPECT_TRUE(out3.empty());
+}
+
+TEST(IntersectionTest, UnionSortedDedups) {
+  gpusim::Device device(SmallParams());
+  std::vector<VertexId> a{1, 3, 5}, b{3, 4, 5, 6}, out;
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    UnionSorted(w, a, b, &out);
+  });
+  EXPECT_EQ(out, (std::vector<VertexId>{1, 3, 4, 5, 6}));
+}
+
+TEST(IntersectionTest, BinaryContainsProbes) {
+  gpusim::Device device(SmallParams());
+  auto list = Evens(1000);
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    EXPECT_TRUE(BinaryContains(w, list, 500));
+    EXPECT_FALSE(BinaryContains(w, list, 501));
+    EXPECT_GT(w.cycles(), 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace gpm::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_pool.h"
+
+namespace gpm::core {
+namespace {
+
+gpusim::SimParams SmallParams() {
+  gpusim::SimParams p;
+  p.device_memory_bytes = 1 << 20;
+  p.um_device_buffer_bytes = 0;
+  return p;
+}
+
+TEST(MemoryPoolTest, ReserveTakesDeviceMemory) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 64 << 10, .block_bytes = 8192});
+  ASSERT_TRUE(pool.Reserve().ok());
+  EXPECT_EQ(device.memory().used_bytes(), 64u << 10);
+  EXPECT_EQ(pool.blocks_total(), 8u);
+}
+
+TEST(MemoryPoolTest, ReserveFailsWhenTooLarge) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 2 << 20, .block_bytes = 8192});
+  Status st = pool.Reserve();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kDeviceOutOfMemory);
+}
+
+TEST(MemoryPoolTest, WarpWriteGrabsBlocksOnDemand) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 64 << 10, .block_bytes = 8192});
+  ASSERT_TRUE(pool.Reserve().ok());
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    MemoryPool::WarpCursor cursor;
+    // 8 KiB blocks hold 1024 8-byte entries; 2500 entries = 3 blocks.
+    pool.WarpWrite(w, &cursor, 2500, 8);
+    pool.EndWarpTask(&cursor);
+  });
+  EXPECT_EQ(device.stats().pool_block_requests, 3u);
+  EXPECT_EQ(device.stats().pool_blocks_wasted, 1u);  // last block partial
+}
+
+TEST(MemoryPoolTest, CursorPersistsAcrossTasks) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 64 << 10, .block_bytes = 8192});
+  ASSERT_TRUE(pool.Reserve().ok());
+  MemoryPool::WarpCursor cursor;
+  device.LaunchKernel(4, [&](gpusim::WarpCtx& w, std::size_t) {
+    pool.WarpWrite(w, &cursor, 100, 8);  // 400 entries total < 1 block
+  });
+  pool.EndWarpTask(&cursor);
+  EXPECT_EQ(device.stats().pool_block_requests, 1u);
+}
+
+TEST(MemoryPoolTest, ExhaustionTriggersMidKernelFlush) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 16 << 10, .block_bytes = 8192});
+  ASSERT_TRUE(pool.Reserve().ok());
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    MemoryPool::WarpCursor cursor;
+    // 2 blocks available; 5000 entries need 5 blocks => flushes.
+    pool.WarpWrite(w, &cursor, 5000, 8);
+    pool.EndWarpTask(&cursor);
+  });
+  EXPECT_GE(pool.mid_kernel_flushes(), 1u);
+  EXPECT_GT(device.stats().explicit_d2h_bytes, 0u);
+}
+
+TEST(MemoryPoolTest, FlushToHostDrainsDirtyBytes) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 64 << 10, .block_bytes = 8192});
+  ASSERT_TRUE(pool.Reserve().ok());
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    MemoryPool::WarpCursor cursor;
+    pool.WarpWrite(w, &cursor, 500, 8);
+    pool.EndWarpTask(&cursor);
+  });
+  EXPECT_EQ(pool.FlushToHost(), 4000u);
+  EXPECT_EQ(pool.FlushToHost(), 0u);  // already drained
+}
+
+TEST(MemoryPoolTest, WritesChargeDeviceTraffic) {
+  gpusim::Device device(SmallParams());
+  MemoryPool pool(&device, {.pool_bytes = 64 << 10, .block_bytes = 8192});
+  ASSERT_TRUE(pool.Reserve().ok());
+  device.LaunchKernel(1, [&](gpusim::WarpCtx& w, std::size_t) {
+    MemoryPool::WarpCursor cursor;
+    pool.WarpWrite(w, &cursor, 1000, 8);
+    pool.EndWarpTask(&cursor);
+  });
+  EXPECT_EQ(device.stats().device_write_bytes, 8000u);
+}
+
+TEST(MemoryPoolTest, BlockSizeClampRespected) {
+  gpusim::Device device(SmallParams());
+  // Pool smaller than one default block still works with a clamped block.
+  MemoryPool pool(&device, {.pool_bytes = 4096, .block_bytes = 4096});
+  ASSERT_TRUE(pool.Reserve().ok());
+  EXPECT_EQ(pool.blocks_total(), 1u);
+}
+
+}  // namespace
+}  // namespace gpm::core

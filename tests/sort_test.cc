@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/multimerge_sort.h"
+
+namespace gpm::core {
+namespace {
+
+gpusim::SimParams TinyDevice() {
+  gpusim::SimParams p;
+  p.device_memory_bytes = 256 << 10;   // small device => many segments
+  p.um_device_buffer_bytes = 32 << 10;
+  return p;
+}
+
+std::vector<uint64_t> RandomKeys(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.Next();
+  return keys;
+}
+
+TEST(MatchedIndexTest, Definition51Cases) {
+  std::vector<uint64_t> s{10, 20, 20, 30};
+  EXPECT_EQ(MatchedIndex(s, 5), 0u);    // x <= s[0]
+  EXPECT_EQ(MatchedIndex(s, 10), 0u);
+  EXPECT_EQ(MatchedIndex(s, 15), 1u);   // s[0] < x <= s[1]
+  EXPECT_EQ(MatchedIndex(s, 20), 1u);
+  EXPECT_EQ(MatchedIndex(s, 25), 3u);
+  EXPECT_EQ(MatchedIndex(s, 31), 4u);   // x > all
+}
+
+class SortMethodTest : public ::testing::TestWithParam<SortMethod> {};
+
+TEST_P(SortMethodTest, SortsRandomKeys) {
+  gpusim::Device device(TinyDevice());
+  auto keys = RandomKeys(50000, 7);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  SortOptions options;
+  options.method = GetParam();
+  auto r = SortKeys(&device, &keys, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(keys, expected);
+  EXPECT_EQ(r.value().keys, 50000u);
+}
+
+TEST_P(SortMethodTest, SortsWithDuplicates) {
+  gpusim::Device device(TinyDevice());
+  Rng rng(11);
+  std::vector<uint64_t> keys(20000);
+  for (auto& k : keys) k = rng.NextBounded(50);  // heavy duplication
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  SortOptions options;
+  options.method = GetParam();
+  options.p_size = 512;
+  ASSERT_TRUE(SortKeys(&device, &keys, options).ok());
+  EXPECT_EQ(keys, expected);
+}
+
+TEST_P(SortMethodTest, HandlesTinyInputs) {
+  gpusim::Device device(TinyDevice());
+  SortOptions options;
+  options.method = GetParam();
+  std::vector<uint64_t> empty;
+  ASSERT_TRUE(SortKeys(&device, &empty, options).ok());
+  std::vector<uint64_t> one{42};
+  ASSERT_TRUE(SortKeys(&device, &one, options).ok());
+  EXPECT_EQ(one, (std::vector<uint64_t>{42}));
+  std::vector<uint64_t> two{9, 3};
+  ASSERT_TRUE(SortKeys(&device, &two, options).ok());
+  EXPECT_EQ(two, (std::vector<uint64_t>{3, 9}));
+}
+
+TEST_P(SortMethodTest, AlreadySortedStaysSorted) {
+  gpusim::Device device(TinyDevice());
+  std::vector<uint64_t> keys(30000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  auto expected = keys;
+  SortOptions options;
+  options.method = GetParam();
+  ASSERT_TRUE(SortKeys(&device, &keys, options).ok());
+  EXPECT_EQ(keys, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, SortMethodTest,
+    ::testing::Values(SortMethod::kGammaMultiMerge, SortMethod::kNaiveMerge,
+                      SortMethod::kXtr2Sort, SortMethod::kCpuSort),
+    [](const ::testing::TestParamInfo<SortMethod>& info) {
+      std::string name = SortMethodName(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(SortCostTest, OutOfCoreUsesMultipleSegments) {
+  gpusim::Device device(TinyDevice());
+  auto keys = RandomKeys(100000, 13);  // 800 KB >> device
+  SortOptions options;
+  options.p_size = 4096;  // below the segment size => real checkpoints
+  auto r = SortKeys(&device, &keys, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().segments, 1u);
+  EXPECT_GT(r.value().subtasks, 1u);
+}
+
+TEST(SortCostTest, GammaFasterThanNaive) {
+  auto run = [](SortMethod m) {
+    gpusim::Device device(TinyDevice());
+    auto keys = RandomKeys(200000, 17);
+    SortOptions options;
+    options.method = m;
+    EXPECT_TRUE(SortKeys(&device, &keys, options).ok());
+    return device.now_cycles();
+  };
+  double gamma_cycles = run(SortMethod::kGammaMultiMerge);
+  double naive_cycles = run(SortMethod::kNaiveMerge);
+  double cpu_cycles = run(SortMethod::kCpuSort);
+  EXPECT_LT(gamma_cycles, naive_cycles);
+  EXPECT_LT(gamma_cycles, cpu_cycles);
+}
+
+TEST(SortCostTest, InCoreOnlyFailsWhenTooLarge) {
+  gpusim::Device device(TinyDevice());
+  auto keys = RandomKeys(100000, 19);  // 800 KB
+  SortOptions options;
+  options.in_core_only = true;
+  auto r = SortKeys(&device, &keys, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kDeviceOutOfMemory);
+}
+
+TEST(SortCostTest, InCoreOnlySucceedsWhenItFits) {
+  gpusim::Device device(TinyDevice());
+  auto keys = RandomKeys(1000, 23);
+  auto expected = keys;
+  std::sort(expected.begin(), expected.end());
+  SortOptions options;
+  options.in_core_only = true;
+  ASSERT_TRUE(SortKeys(&device, &keys, options).ok());
+  EXPECT_EQ(keys, expected);
+}
+
+}  // namespace
+}  // namespace gpm::core

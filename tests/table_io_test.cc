@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/gamma.h"
+#include "core/table_io.h"
+#include "graph/generators.h"
+
+namespace gpm::core {
+namespace {
+
+gpusim::SimParams TestParams() {
+  gpusim::SimParams p;
+  p.device_memory_bytes = 8 << 20;
+  p.um_device_buffer_bytes = 512 << 10;
+  return p;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TableIoTest, RoundTripsMultiColumnTable) {
+  Rng rng(1);
+  graph::Graph g = graph::ErdosRenyi(50, 200, &rng);
+  gpusim::Device device(TestParams());
+  GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto t = engine.InitVertexTable();
+  ASSERT_TRUE(t.ok());
+  VertexExtensionSpec spec;
+  spec.intersect_positions = {0};
+  spec.require_ascending = true;
+  ASSERT_TRUE(engine.VertexExtension(t.value().get(), spec).ok());
+  VertexExtensionSpec spec2;
+  spec2.intersect_positions = {0, 1};
+  spec2.require_ascending = true;
+  ASSERT_TRUE(engine.VertexExtension(t.value().get(), spec2).ok());
+
+  std::string path = TempPath("gamma_table.bin");
+  ASSERT_TRUE(SaveTable(*t.value(), path).ok());
+  auto loaded = LoadTable(&device, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->kind(), TableKind::kVertex);
+  EXPECT_EQ(loaded.value()->length(), t.value()->length());
+  EXPECT_EQ(loaded.value()->Materialize(), t.value()->Materialize());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RoundTripsEdgeTable) {
+  Rng rng(2);
+  graph::Graph g = graph::ErdosRenyi(30, 90, &rng);
+  g.EnsureEdgeIndex();
+  gpusim::Device device(TestParams());
+  GammaEngine engine(&device, &g, {});
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto t = engine.InitEdgeTable();
+  ASSERT_TRUE(t.ok());
+  std::string path = TempPath("gamma_edge_table.bin");
+  ASSERT_TRUE(SaveTable(*t.value(), path).ok());
+  auto loaded = LoadTable(&device, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->kind(), TableKind::kEdge);
+  EXPECT_EQ(loaded.value()->num_embeddings(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, RoundTripsEmptyTable) {
+  gpusim::Device device(TestParams());
+  EmbeddingTable t(&device, TableKind::kVertex);
+  ASSERT_TRUE(t.InitFirstColumn({}).ok());
+  std::string path = TempPath("gamma_empty_table.bin");
+  ASSERT_TRUE(SaveTable(t, path).ok());
+  auto loaded = LoadTable(&device, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->num_embeddings(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFileIsNotFound) {
+  gpusim::Device device(TestParams());
+  auto loaded = LoadTable(&device, "/nonexistent/table.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(TableIoTest, BadMagicRejected) {
+  std::string path = TempPath("gamma_bad_table.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a table";
+  }
+  gpusim::Device device(TestParams());
+  auto loaded = LoadTable(&device, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, CorruptParentPointerRejected) {
+  gpusim::Device device(TestParams());
+  EmbeddingTable t(&device, TableKind::kVertex);
+  ASSERT_TRUE(t.InitFirstColumn({1, 2}).ok());
+  ASSERT_TRUE(t.AppendColumn({10, 20}, {0, 1}).ok());
+  std::string path = TempPath("gamma_corrupt_table.bin");
+  ASSERT_TRUE(SaveTable(t, path).ok());
+  // Flip the last parent pointer to an out-of-range value.
+  {
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-4, std::ios::end);
+    uint32_t bogus = 999;
+    f.write(reinterpret_cast<const char*>(&bogus), 4);
+  }
+  auto loaded = LoadTable(&device, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, SpillRestoresAcrossDevices) {
+  // Checkpoint on one device, restore on a fresh one, continue extending.
+  Rng rng(3);
+  graph::Graph g = graph::ErdosRenyi(40, 160, &rng);
+  std::string path = TempPath("gamma_spill_table.bin");
+  uint64_t direct_count = 0;
+  {
+    gpusim::Device device(TestParams());
+    GammaEngine engine(&device, &g, {});
+    ASSERT_TRUE(engine.Prepare().ok());
+    auto t = engine.InitVertexTable();
+    ASSERT_TRUE(t.ok());
+    VertexExtensionSpec spec;
+    spec.intersect_positions = {0};
+    spec.require_ascending = true;
+    ASSERT_TRUE(engine.VertexExtension(t.value().get(), spec).ok());
+    ASSERT_TRUE(SaveTable(*t.value(), path).ok());
+    VertexExtensionSpec spec2;
+    spec2.intersect_positions = {0, 1};
+    spec2.require_ascending = true;
+    ASSERT_TRUE(engine.VertexExtension(t.value().get(), spec2).ok());
+    direct_count = t.value()->num_embeddings();
+  }
+  {
+    gpusim::Device device(TestParams());
+    GammaEngine engine(&device, &g, {});
+    ASSERT_TRUE(engine.Prepare().ok());
+    auto restored = LoadTable(&device, path);
+    ASSERT_TRUE(restored.ok());
+    VertexExtensionSpec spec2;
+    spec2.intersect_positions = {0, 1};
+    spec2.require_ascending = true;
+    ASSERT_TRUE(
+        engine.VertexExtension(restored.value().get(), spec2).ok());
+    EXPECT_EQ(restored.value()->num_embeddings(), direct_count);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpm::core
