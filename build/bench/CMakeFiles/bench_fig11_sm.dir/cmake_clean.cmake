@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sm.dir/bench_fig11_sm.cc.o"
+  "CMakeFiles/bench_fig11_sm.dir/bench_fig11_sm.cc.o.d"
+  "bench_fig11_sm"
+  "bench_fig11_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

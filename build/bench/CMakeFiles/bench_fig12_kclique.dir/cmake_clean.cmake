@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_kclique.dir/bench_fig12_kclique.cc.o"
+  "CMakeFiles/bench_fig12_kclique.dir/bench_fig12_kclique.cc.o.d"
+  "bench_fig12_kclique"
+  "bench_fig12_kclique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_kclique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

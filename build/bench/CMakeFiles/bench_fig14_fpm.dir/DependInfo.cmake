@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_fpm.cc" "bench/CMakeFiles/bench_fig14_fpm.dir/bench_fig14_fpm.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_fpm.dir/bench_fig14_fpm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gamma_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/gamma_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gamma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gamma_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gamma_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fpm.dir/bench_fig14_fpm.cc.o"
+  "CMakeFiles/bench_fig14_fpm.dir/bench_fig14_fpm.cc.o.d"
+  "bench_fig14_fpm"
+  "bench_fig14_fpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_warps.dir/bench_fig16_warps.cc.o"
+  "CMakeFiles/bench_fig16_warps.dir/bench_fig16_warps.cc.o.d"
+  "bench_fig16_warps"
+  "bench_fig16_warps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_warps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

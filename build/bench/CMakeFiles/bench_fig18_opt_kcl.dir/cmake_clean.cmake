@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_opt_kcl.dir/bench_fig18_opt_kcl.cc.o"
+  "CMakeFiles/bench_fig18_opt_kcl.dir/bench_fig18_opt_kcl.cc.o.d"
+  "bench_fig18_opt_kcl"
+  "bench_fig18_opt_kcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_opt_kcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

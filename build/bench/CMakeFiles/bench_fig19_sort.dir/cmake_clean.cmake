@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_sort.dir/bench_fig19_sort.cc.o"
+  "CMakeFiles/bench_fig19_sort.dir/bench_fig19_sort.cc.o.d"
+  "bench_fig19_sort"
+  "bench_fig19_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

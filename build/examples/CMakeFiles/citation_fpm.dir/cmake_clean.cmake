@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_fpm.dir/citation_fpm.cpp.o"
+  "CMakeFiles/citation_fpm.dir/citation_fpm.cpp.o.d"
+  "citation_fpm"
+  "citation_fpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_fpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

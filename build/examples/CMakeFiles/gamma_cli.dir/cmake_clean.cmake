@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_cli.dir/gamma_cli.cpp.o"
+  "CMakeFiles/gamma_cli.dir/gamma_cli.cpp.o.d"
+  "gamma_cli"
+  "gamma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_kclique.dir/out_of_core_kclique.cpp.o"
+  "CMakeFiles/out_of_core_kclique.dir/out_of_core_kclique.cpp.o.d"
+  "out_of_core_kclique"
+  "out_of_core_kclique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_kclique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

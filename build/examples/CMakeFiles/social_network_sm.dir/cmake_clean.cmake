@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_sm.dir/social_network_sm.cpp.o"
+  "CMakeFiles/social_network_sm.dir/social_network_sm.cpp.o.d"
+  "social_network_sm"
+  "social_network_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

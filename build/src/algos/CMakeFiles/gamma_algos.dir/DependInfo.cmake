@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/fpm.cc" "src/algos/CMakeFiles/gamma_algos.dir/fpm.cc.o" "gcc" "src/algos/CMakeFiles/gamma_algos.dir/fpm.cc.o.d"
+  "/root/repo/src/algos/kclique.cc" "src/algos/CMakeFiles/gamma_algos.dir/kclique.cc.o" "gcc" "src/algos/CMakeFiles/gamma_algos.dir/kclique.cc.o.d"
+  "/root/repo/src/algos/motif.cc" "src/algos/CMakeFiles/gamma_algos.dir/motif.cc.o" "gcc" "src/algos/CMakeFiles/gamma_algos.dir/motif.cc.o.d"
+  "/root/repo/src/algos/subgraph_matching.cc" "src/algos/CMakeFiles/gamma_algos.dir/subgraph_matching.cc.o" "gcc" "src/algos/CMakeFiles/gamma_algos.dir/subgraph_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gamma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gamma_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gamma_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

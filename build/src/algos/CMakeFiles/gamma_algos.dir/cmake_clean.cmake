@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_algos.dir/fpm.cc.o"
+  "CMakeFiles/gamma_algos.dir/fpm.cc.o.d"
+  "CMakeFiles/gamma_algos.dir/kclique.cc.o"
+  "CMakeFiles/gamma_algos.dir/kclique.cc.o.d"
+  "CMakeFiles/gamma_algos.dir/motif.cc.o"
+  "CMakeFiles/gamma_algos.dir/motif.cc.o.d"
+  "CMakeFiles/gamma_algos.dir/subgraph_matching.cc.o"
+  "CMakeFiles/gamma_algos.dir/subgraph_matching.cc.o.d"
+  "libgamma_algos.a"
+  "libgamma_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_ref.cc" "src/baselines/CMakeFiles/gamma_baselines.dir/cpu_ref.cc.o" "gcc" "src/baselines/CMakeFiles/gamma_baselines.dir/cpu_ref.cc.o.d"
+  "/root/repo/src/baselines/presets.cc" "src/baselines/CMakeFiles/gamma_baselines.dir/presets.cc.o" "gcc" "src/baselines/CMakeFiles/gamma_baselines.dir/presets.cc.o.d"
+  "/root/repo/src/baselines/systems.cc" "src/baselines/CMakeFiles/gamma_baselines.dir/systems.cc.o" "gcc" "src/baselines/CMakeFiles/gamma_baselines.dir/systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gamma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/gamma_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gamma_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gamma_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

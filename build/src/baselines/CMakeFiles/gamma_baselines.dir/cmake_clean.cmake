@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_baselines.dir/cpu_ref.cc.o"
+  "CMakeFiles/gamma_baselines.dir/cpu_ref.cc.o.d"
+  "CMakeFiles/gamma_baselines.dir/presets.cc.o"
+  "CMakeFiles/gamma_baselines.dir/presets.cc.o.d"
+  "CMakeFiles/gamma_baselines.dir/systems.cc.o"
+  "CMakeFiles/gamma_baselines.dir/systems.cc.o.d"
+  "libgamma_baselines.a"
+  "libgamma_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_heat.cc" "src/core/CMakeFiles/gamma_core.dir/access_heat.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/access_heat.cc.o.d"
+  "/root/repo/src/core/adaptive_access.cc" "src/core/CMakeFiles/gamma_core.dir/adaptive_access.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/adaptive_access.cc.o.d"
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/gamma_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/compaction.cc" "src/core/CMakeFiles/gamma_core.dir/compaction.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/compaction.cc.o.d"
+  "/root/repo/src/core/embedding_table.cc" "src/core/CMakeFiles/gamma_core.dir/embedding_table.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/embedding_table.cc.o.d"
+  "/root/repo/src/core/extension.cc" "src/core/CMakeFiles/gamma_core.dir/extension.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/extension.cc.o.d"
+  "/root/repo/src/core/filtering.cc" "src/core/CMakeFiles/gamma_core.dir/filtering.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/filtering.cc.o.d"
+  "/root/repo/src/core/gamma.cc" "src/core/CMakeFiles/gamma_core.dir/gamma.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/gamma.cc.o.d"
+  "/root/repo/src/core/intersection.cc" "src/core/CMakeFiles/gamma_core.dir/intersection.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/intersection.cc.o.d"
+  "/root/repo/src/core/memory_pool.cc" "src/core/CMakeFiles/gamma_core.dir/memory_pool.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/memory_pool.cc.o.d"
+  "/root/repo/src/core/multimerge_sort.cc" "src/core/CMakeFiles/gamma_core.dir/multimerge_sort.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/multimerge_sort.cc.o.d"
+  "/root/repo/src/core/pattern_table.cc" "src/core/CMakeFiles/gamma_core.dir/pattern_table.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/pattern_table.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/gamma_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/symmetry.cc" "src/core/CMakeFiles/gamma_core.dir/symmetry.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/symmetry.cc.o.d"
+  "/root/repo/src/core/table_io.cc" "src/core/CMakeFiles/gamma_core.dir/table_io.cc.o" "gcc" "src/core/CMakeFiles/gamma_core.dir/table_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gamma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gamma_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gamma_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_core.dir/access_heat.cc.o"
+  "CMakeFiles/gamma_core.dir/access_heat.cc.o.d"
+  "CMakeFiles/gamma_core.dir/adaptive_access.cc.o"
+  "CMakeFiles/gamma_core.dir/adaptive_access.cc.o.d"
+  "CMakeFiles/gamma_core.dir/aggregation.cc.o"
+  "CMakeFiles/gamma_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/gamma_core.dir/compaction.cc.o"
+  "CMakeFiles/gamma_core.dir/compaction.cc.o.d"
+  "CMakeFiles/gamma_core.dir/embedding_table.cc.o"
+  "CMakeFiles/gamma_core.dir/embedding_table.cc.o.d"
+  "CMakeFiles/gamma_core.dir/extension.cc.o"
+  "CMakeFiles/gamma_core.dir/extension.cc.o.d"
+  "CMakeFiles/gamma_core.dir/filtering.cc.o"
+  "CMakeFiles/gamma_core.dir/filtering.cc.o.d"
+  "CMakeFiles/gamma_core.dir/gamma.cc.o"
+  "CMakeFiles/gamma_core.dir/gamma.cc.o.d"
+  "CMakeFiles/gamma_core.dir/intersection.cc.o"
+  "CMakeFiles/gamma_core.dir/intersection.cc.o.d"
+  "CMakeFiles/gamma_core.dir/memory_pool.cc.o"
+  "CMakeFiles/gamma_core.dir/memory_pool.cc.o.d"
+  "CMakeFiles/gamma_core.dir/multimerge_sort.cc.o"
+  "CMakeFiles/gamma_core.dir/multimerge_sort.cc.o.d"
+  "CMakeFiles/gamma_core.dir/pattern_table.cc.o"
+  "CMakeFiles/gamma_core.dir/pattern_table.cc.o.d"
+  "CMakeFiles/gamma_core.dir/plan.cc.o"
+  "CMakeFiles/gamma_core.dir/plan.cc.o.d"
+  "CMakeFiles/gamma_core.dir/symmetry.cc.o"
+  "CMakeFiles/gamma_core.dir/symmetry.cc.o.d"
+  "CMakeFiles/gamma_core.dir/table_io.cc.o"
+  "CMakeFiles/gamma_core.dir/table_io.cc.o.d"
+  "libgamma_core.a"
+  "libgamma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

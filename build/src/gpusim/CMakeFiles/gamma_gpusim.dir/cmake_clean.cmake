@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_gpusim.dir/device.cc.o"
+  "CMakeFiles/gamma_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/gamma_gpusim.dir/device_memory.cc.o"
+  "CMakeFiles/gamma_gpusim.dir/device_memory.cc.o.d"
+  "CMakeFiles/gamma_gpusim.dir/stats.cc.o"
+  "CMakeFiles/gamma_gpusim.dir/stats.cc.o.d"
+  "CMakeFiles/gamma_gpusim.dir/unified_memory.cc.o"
+  "CMakeFiles/gamma_gpusim.dir/unified_memory.cc.o.d"
+  "CMakeFiles/gamma_gpusim.dir/warp.cc.o"
+  "CMakeFiles/gamma_gpusim.dir/warp.cc.o.d"
+  "libgamma_gpusim.a"
+  "libgamma_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

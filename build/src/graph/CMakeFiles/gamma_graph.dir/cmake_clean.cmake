@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_graph.dir/canonical.cc.o"
+  "CMakeFiles/gamma_graph.dir/canonical.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/csr.cc.o"
+  "CMakeFiles/gamma_graph.dir/csr.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/datasets.cc.o"
+  "CMakeFiles/gamma_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/generators.cc.o"
+  "CMakeFiles/gamma_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/isomorphism.cc.o"
+  "CMakeFiles/gamma_graph.dir/isomorphism.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/loader.cc.o"
+  "CMakeFiles/gamma_graph.dir/loader.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/metrics.cc.o"
+  "CMakeFiles/gamma_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/pattern.cc.o"
+  "CMakeFiles/gamma_graph.dir/pattern.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/reorder.cc.o"
+  "CMakeFiles/gamma_graph.dir/reorder.cc.o.d"
+  "CMakeFiles/gamma_graph.dir/upscale.cc.o"
+  "CMakeFiles/gamma_graph.dir/upscale.cc.o.d"
+  "libgamma_graph.a"
+  "libgamma_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

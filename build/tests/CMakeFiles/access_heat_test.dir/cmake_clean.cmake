@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_heat_test.dir/access_heat_test.cc.o"
+  "CMakeFiles/access_heat_test.dir/access_heat_test.cc.o.d"
+  "access_heat_test"
+  "access_heat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_heat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gamma_engine_test.dir/gamma_engine_test.cc.o"
+  "CMakeFiles/gamma_engine_test.dir/gamma_engine_test.cc.o.d"
+  "gamma_engine_test"
+  "gamma_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gamma_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_reorder_test.dir/plan_reorder_test.cc.o"
+  "CMakeFiles/plan_reorder_test.dir/plan_reorder_test.cc.o.d"
+  "plan_reorder_test"
+  "plan_reorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

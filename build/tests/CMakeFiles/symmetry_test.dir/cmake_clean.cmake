@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_test.dir/symmetry_test.cc.o"
+  "CMakeFiles/symmetry_test.dir/symmetry_test.cc.o.d"
+  "symmetry_test"
+  "symmetry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
