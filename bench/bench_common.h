@@ -10,6 +10,7 @@
 #include "baselines/systems.h"
 #include "graph/datasets.h"
 #include "gpusim/device.h"
+#include "gpusim/profile.h"
 
 namespace gpm::bench {
 
@@ -66,6 +67,24 @@ inline void ReportSimMillis(benchmark::State& state, double sim_millis) {
 /// Standard skip for the paper's "crashed on this dataset" cases.
 inline void SkipCrashed(benchmark::State& state, const Status& status) {
   state.SkipWithError(status.ToString().c_str());
+}
+
+/// Attaches the run's memory-traffic counters and per-phase simulated time
+/// to the benchmark, so the reported table carries the same breakdown the
+/// JSON profile exports (headline counters plus one `<phase>_ms` column
+/// per engine phase that ran).
+inline void ReportProfile(benchmark::State& state,
+                          const gpusim::Device& device) {
+  const gpusim::DeviceStats& s = device.stats();
+  state.counters["um_faults"] = static_cast<double>(s.um_page_faults);
+  state.counters["um_hits"] = static_cast<double>(s.um_page_hits);
+  state.counters["um_migrated_B"] = static_cast<double>(s.um_migrated_bytes);
+  state.counters["zc_tx"] = static_cast<double>(s.zc_transactions);
+  state.counters["pool_wasted"] = static_cast<double>(s.pool_blocks_wasted);
+  for (const gpusim::PhaseRecord& ph : device.profile().phases()) {
+    state.counters[ph.name + "_ms"] =
+        device.params().CyclesToMillis(ph.cycles);
+  }
 }
 
 /// Registers a single-shot manual-time benchmark. The installed

@@ -41,6 +41,7 @@ void BM_MemorySm(benchmark::State& state, std::string dataset, System sys) {
       bench::SkipCrashed(state, r.status());
       return;
     }
+    bench::ReportProfile(state, device);
     ReportMemory(state, r.value());
   }
 }
@@ -61,6 +62,7 @@ void BM_MemoryKcl(benchmark::State& state, std::string dataset,
       bench::SkipCrashed(state, r.status());
       return;
     }
+    bench::ReportProfile(state, device);
     ReportMemory(state, r.value());
   }
 }
@@ -82,6 +84,7 @@ void BM_MemoryFpm(benchmark::State& state, std::string dataset,
       bench::SkipCrashed(state, r.status());
       return;
     }
+    bench::ReportProfile(state, device);
     ReportMemory(state, r.value());
   }
 }

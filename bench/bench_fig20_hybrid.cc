@@ -28,10 +28,7 @@ void BM_HybridSm(benchmark::State& state, std::string dataset,
       bench::SkipCrashed(state, r.status());
       return;
     }
-    state.counters["um_faults"] =
-        static_cast<double>(device.stats().um_page_faults);
-    state.counters["zc_tx"] =
-        static_cast<double>(device.stats().zc_transactions);
+    bench::ReportProfile(state, device);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -47,10 +44,7 @@ void BM_HybridKcl(benchmark::State& state, std::string dataset,
       bench::SkipCrashed(state, r.status());
       return;
     }
-    state.counters["um_faults"] =
-        static_cast<double>(device.stats().um_page_faults);
-    state.counters["zc_tx"] =
-        static_cast<double>(device.stats().zc_transactions);
+    bench::ReportProfile(state, device);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -66,6 +60,7 @@ void BM_HybridFpm(benchmark::State& state, std::string dataset,
       bench::SkipCrashed(state, r.status());
       return;
     }
+    bench::ReportProfile(state, device);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -22,6 +23,7 @@
 #include "graph/datasets.h"
 #include "graph/loader.h"
 #include "gpusim/device.h"
+#include "gpusim/profile.h"
 
 namespace {
 
@@ -44,6 +46,7 @@ struct CliOptions {
   int warps = 64;
   bool show_stats = false;
   bool trace = false;
+  std::string profile_json;
 };
 
 void Usage() {
@@ -64,7 +67,9 @@ void Usage() {
       "  --device-mb N      simulated device memory (default 16)\n"
       "  --warps N          resident warp slots (default 64)\n"
       "  --stats            print hardware counters\n"
-      "  --trace            print per-kernel cycle breakdown");
+      "  --trace            print per-kernel cycle breakdown\n"
+      "  --profile-json F   write the run profile (per-phase cycles and\n"
+      "                     memory traffic, totals, kernel trace) to F");
 }
 
 bool Parse(int argc, char** argv, CliOptions* o) {
@@ -105,6 +110,8 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->show_stats = true;
     } else if (a == "--trace") {
       o->trace = true;
+    } else if (a == "--profile-json") {
+      o->profile_json = next();
     } else if (a == "--help" || a == "-h") {
       Usage();
       return false;
@@ -163,7 +170,9 @@ int main(int argc, char** argv) {
   params.um_device_buffer_bytes = params.device_memory_bytes / 8;
   params.num_warp_slots = o.warps;
   gpusim::Device device(params);
-  if (o.trace) device.set_trace_enabled(true);
+  // The JSON profile embeds the kernel trace, so --profile-json implies
+  // tracing.
+  if (o.trace || !o.profile_json.empty()) device.set_trace_enabled(true);
   core::GammaEngine engine(&device, &g, FrameworkOptions(o));
   if (Status st = engine.Prepare(); !st.ok()) {
     std::fprintf(stderr, "prepare: %s\n", st.ToString().c_str());
@@ -260,6 +269,18 @@ int main(int argc, char** argv) {
     std::printf("peak device: %.2f MiB, peak host: %.2f MiB\n",
                 device.PeakDeviceBytes() / 1048576.0,
                 device.host_tracker().peak_bytes() / 1048576.0);
+  }
+  if (!o.profile_json.empty()) {
+    std::ofstream out(o.profile_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   o.profile_json.c_str());
+      return 1;
+    }
+    out << device.profile().ToJson(device);
+    std::printf("profile written to %s (%zu phases, %zu kernel records)\n",
+                o.profile_json.c_str(), device.profile().phases().size(),
+                device.kernel_trace().size());
   }
   return 0;
 }

@@ -1,0 +1,167 @@
+#ifndef GAMMA_COMMON_JSON_H_
+#define GAMMA_COMMON_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gpm {
+
+/// Minimal streaming JSON writer (no external dependency).
+///
+/// Emits indented, standards-valid JSON to an ostream. The caller drives
+/// the document structure with BeginObject/BeginArray/Key/Value; commas,
+/// newlines, string escaping, and non-finite doubles (written as 0) are
+/// handled here. Used by the observability exports (DeviceStats /
+/// RunProfile), which must stay machine-readable.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent_width = 2)
+      : os_(os), indent_width_(indent_width) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& BeginObject() {
+    Open('{');
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    Close('}');
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Open('[');
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    Close(']');
+    return *this;
+  }
+
+  JsonWriter& Key(std::string_view key) {
+    Separate();
+    WriteString(key);
+    os_ << ": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& Value(T v) {
+    Separate();
+    os_ << +v;
+    return *this;
+  }
+
+  JsonWriter& Value(double v) {
+    Separate();
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+  }
+
+  JsonWriter& Value(bool v) {
+    Separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view v) {
+    Separate();
+    WriteString(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+
+ private:
+  struct Level {
+    bool first = true;
+  };
+
+  void Open(char c) {
+    Separate();
+    os_ << c;
+    levels_.push_back({});
+  }
+
+  void Close(char c) {
+    bool empty = levels_.back().first;
+    levels_.pop_back();
+    if (!empty) {
+      os_ << '\n';
+      Indent(levels_.size());
+    }
+    os_ << c;
+  }
+
+  // Positions the stream for the next element: nothing after a Key, a
+  // comma + newline + indent between siblings.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (levels_.empty()) return;
+    if (!levels_.back().first) os_ << ',';
+    levels_.back().first = false;
+    os_ << '\n';
+    Indent(levels_.size());
+  }
+
+  void Indent(std::size_t depth) {
+    for (std::size_t i = 0; i < depth * static_cast<std::size_t>(indent_width_);
+         ++i) {
+      os_ << ' ';
+    }
+  }
+
+  void WriteString(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          os_ << "\\\"";
+          break;
+        case '\\':
+          os_ << "\\\\";
+          break;
+        case '\n':
+          os_ << "\\n";
+          break;
+        case '\r':
+          os_ << "\\r";
+          break;
+        case '\t':
+          os_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  int indent_width_;
+  std::vector<Level> levels_;
+  bool pending_value_ = false;
+};
+
+}  // namespace gpm
+
+#endif  // GAMMA_COMMON_JSON_H_

@@ -31,6 +31,7 @@ GraphAccessor::GraphAccessor(gpusim::Device* device,
       col_(device),
       labels_(device),
       edges_packed_(device),
+      arc_eids_(device),
       heat_(graph->col().size() * sizeof(graph::VertexId),
             device->params().um_page_bytes) {}
 
@@ -64,6 +65,12 @@ Status GraphAccessor::Prepare() {
           packed.push_back((static_cast<uint64_t>(e.u) << 32) | e.v);
         }
         edges_packed_.Assign(std::move(packed));
+      }
+      if (!graph_->arc_edge_ids().empty()) {
+        // The edge-id mirror of the column array gets its own unified
+        // region: its pages fault and occupy page-buffer slots
+        // independently of the column pages they mirror.
+        arc_eids_.Assign(graph_->arc_edge_ids());
       }
       if (options_.placement == GraphPlacement::kHybridAdaptive) {
         // Account the second copy's host footprint (duplication, §IV).
@@ -145,7 +152,8 @@ bool GraphAccessor::PageIsUnified(std::size_t page) const {
 }
 
 void GraphAccessor::ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
-                               std::size_t bytes) {
+                               std::size_t bytes,
+                               gpusim::UnifiedMemory::RegionId region) {
   if (bytes == 0) return;
   if (options_.placement == GraphPlacement::kDeviceResident ||
       options_.placement == GraphPlacement::kExplicitTransfer) {
@@ -161,7 +169,7 @@ void GraphAccessor::ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
     std::size_t lo = std::max(offset, p * page_bytes);
     std::size_t hi = std::min(offset + bytes, (p + 1) * page_bytes);
     if (PageIsUnified(p)) {
-      warp.UnifiedRead(col_.region(), lo, hi - lo);
+      warp.UnifiedRead(region, lo, hi - lo);
     } else {
       warp.ZeroCopyRead(hi - lo);
     }
@@ -172,7 +180,7 @@ std::span<const graph::VertexId> GraphAccessor::ReadAdjacency(
     gpusim::WarpCtx& warp, graph::VertexId v) {
   GAMMA_CHECK(prepared_) << "GraphAccessor used before Prepare";
   ChargeSpan(warp, graph_->adjacency_offset_bytes(v),
-             graph_->adjacency_bytes(v));
+             graph_->adjacency_bytes(v), col_.region());
   return graph_->neighbors(v);
 }
 
@@ -182,12 +190,15 @@ GraphAccessor::ReadAdjacencyWithEids(gpusim::WarpCtx& warp,
   GAMMA_CHECK(prepared_) << "GraphAccessor used before Prepare";
   GAMMA_CHECK(!graph_->arc_edge_ids().empty())
       << "edge index required for edge ids";
-  // The edge-id array mirrors the column array page-for-page; charge both
-  // through the same per-page policy.
+  // The edge-id array mirrors the column array page-for-page, but it is a
+  // distinct allocation: both spans go through the same per-page policy,
+  // and the mirror's pages fault and compete for the page buffer on their
+  // own (charging the column region twice would land the edge-id traffic
+  // on already-resident pages and model it as free).
   ChargeSpan(warp, graph_->adjacency_offset_bytes(v),
-             graph_->adjacency_bytes(v));
+             graph_->adjacency_bytes(v), col_.region());
   ChargeSpan(warp, graph_->adjacency_offset_bytes(v),
-             graph_->adjacency_bytes(v));
+             graph_->adjacency_bytes(v), arc_eids_.region());
   return {graph_->neighbors(v), graph_->neighbor_edge_ids(v)};
 }
 
@@ -218,15 +229,21 @@ graph::Label GraphAccessor::ReadLabel(gpusim::WarpCtx& warp,
 
 void GraphAccessor::ChargeLabelsBatch(
     gpusim::WarpCtx& warp, std::span<const graph::VertexId> vertices) {
-  const int width = device_->params().warp_size;
-  for (std::size_t i = 0; i < vertices.size();
-       i += static_cast<std::size_t>(width)) {
+  const std::size_t width =
+      static_cast<std::size_t>(device_->params().warp_size);
+  for (std::size_t i = 0; i < vertices.size(); i += width) {
+    const std::size_t lanes = std::min(width, vertices.size() - i);
     if (options_.placement == GraphPlacement::kDeviceResident) {
-      warp.DeviceRead(width * sizeof(graph::Label));
+      warp.DeviceRead(lanes * sizeof(graph::Label));
     } else {
-      warp.UnifiedRead(labels_.region(),
-                       vertices[i] * sizeof(graph::Label),
-                       sizeof(graph::Label));
+      // Gathered read: each lane fetches the label of its own vertex,
+      // which may live on a different page, so the traffic is charged per
+      // lane at each vertex's offset — not one label per batch.
+      for (std::size_t j = 0; j < lanes; ++j) {
+        warp.UnifiedRead(labels_.region(),
+                         vertices[i + j] * sizeof(graph::Label),
+                         sizeof(graph::Label));
+      }
     }
   }
 }
@@ -234,15 +251,20 @@ void GraphAccessor::ChargeLabelsBatch(
 void GraphAccessor::ChargeEdgeEndpointsBatch(gpusim::WarpCtx& warp,
                                              graph::EdgeId first,
                                              std::size_t count) {
-  const int width = device_->params().warp_size;
-  std::size_t batches =
-      (count + static_cast<std::size_t>(width) - 1) / width;
-  for (std::size_t b = 0; b < batches; ++b) {
+  const std::size_t width =
+      static_cast<std::size_t>(device_->params().warp_size);
+  for (std::size_t lane0 = 0; lane0 < count; lane0 += width) {
+    const std::size_t lanes = std::min(width, count - lane0);
     if (options_.placement == GraphPlacement::kDeviceResident) {
-      warp.DeviceRead(width * sizeof(uint64_t));
+      warp.DeviceRead(lanes * sizeof(uint64_t));
     } else {
-      warp.UnifiedRead(edges_packed_.region(), first * sizeof(uint64_t),
-                       sizeof(uint64_t));
+      // Each warp-wide batch reads its own span of the packed edge array;
+      // the offset advances with the batch so that spans past the first
+      // page are charged where they actually land.
+      warp.UnifiedRead(
+          edges_packed_.region(),
+          (static_cast<std::size_t>(first) + lane0) * sizeof(uint64_t),
+          lanes * sizeof(uint64_t));
     }
   }
 }

@@ -116,7 +116,7 @@ class GraphAccessor {
  private:
   bool PageIsUnified(std::size_t page) const;
   void ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
-                  std::size_t bytes);
+                  std::size_t bytes, gpusim::UnifiedMemory::RegionId region);
 
   gpusim::Device* device_;
   const graph::Graph* graph_;
@@ -127,6 +127,9 @@ class GraphAccessor {
   gpusim::HostArray<graph::VertexId> col_;
   gpusim::HostArray<graph::Label> labels_;
   gpusim::HostArray<uint64_t> edges_packed_;  // edge id -> (u << 32 | v)
+  // Per-arc edge ids, mirroring col_ page-for-page but faulting and
+  // occupying page-buffer slots as its own region.
+  gpusim::HostArray<graph::EdgeId> arc_eids_;
 
   // Device-resident placement.
   gpusim::DeviceBuffer device_csr_;

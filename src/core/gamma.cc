@@ -3,8 +3,23 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "gpusim/profile.h"
 
 namespace gpm::core {
+
+namespace {
+
+// Phase names used for RunProfile attribution. Every primitive call on the
+// engine lands in exactly one of these, so the per-phase counter deltas sum
+// (with "prepare"/"init-table") to the run totals.
+constexpr char kPhasePrepare[] = "prepare";
+constexpr char kPhaseInitTable[] = "init-table";
+constexpr char kPhaseVertexExtension[] = "vertex-extension";
+constexpr char kPhaseEdgeExtension[] = "edge-extension";
+constexpr char kPhaseAggregation[] = "aggregation";
+constexpr char kPhaseFiltering[] = "filtering";
+
+}  // namespace
 
 GammaEngine::GammaEngine(gpusim::Device* device, const graph::Graph* graph,
                          const GammaOptions& options)
@@ -15,6 +30,7 @@ GammaEngine::GammaEngine(gpusim::Device* device, const graph::Graph* graph,
 
 Status GammaEngine::Prepare() {
   GAMMA_CHECK(!prepared_) << "Prepare called twice";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhasePrepare);
   Status st = accessor_.Prepare();
   if (!st.ok()) return st;
   prepared_ = true;
@@ -24,6 +40,7 @@ Status GammaEngine::Prepare() {
 Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitVertexTable(
     graph::Label label) {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseInitTable);
   auto table = std::make_unique<EmbeddingTable>(
       device_, TableKind::kVertex, options_.device_resident_tables);
   std::vector<Unit> units;
@@ -50,6 +67,7 @@ Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitVertexTable(
 
 Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitEdgeTable() {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseInitTable);
   if (graph_->edge_list().empty()) {
     return Status::FailedPrecondition(
         "edge table requires the graph's edge index (EnsureEdgeIndex)");
@@ -69,18 +87,22 @@ Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitEdgeTable() {
 Result<ExtensionStats> GammaEngine::VertexExtension(
     EmbeddingTable* et, const VertexExtensionSpec& spec) {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(),
+                           kPhaseVertexExtension);
   return VertexExtend(et, &accessor_, spec, options_.extension);
 }
 
 Result<ExtensionStats> GammaEngine::EdgeExtension(
     EmbeddingTable* et, const EdgeExtensionSpec& spec) {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseEdgeExtension);
   return EdgeExtend(et, &accessor_, spec, options_.extension);
 }
 
 Result<AggregationResult> GammaEngine::Aggregation(const EmbeddingTable& et,
                                                    PatternTable* pt) {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseAggregation);
   return Aggregate(et, &accessor_, pt, options_.aggregation);
 }
 
@@ -88,6 +110,7 @@ FilterStats GammaEngine::Filtering(
     EmbeddingTable* et,
     const std::function<bool(std::span<const Unit>)>& constraint) {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseFiltering);
   return FilterEmbeddings(et, constraint, options_.filter);
 }
 
@@ -95,6 +118,7 @@ FilterStats GammaEngine::Filtering(EmbeddingTable* et,
                                    const std::vector<uint64_t>& codes,
                                    const PatternTable& pt) {
   GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseFiltering);
   return FilterByPattern(et, codes, pt, options_.filter);
 }
 

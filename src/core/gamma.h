@@ -76,6 +76,9 @@ class GammaEngine {
                             const PatternTable* pt) const;
 
   gpusim::Device* device() { return device_; }
+  /// Per-phase time/traffic attribution of every primitive call made
+  /// through this engine (lives on the device; see gpusim::RunProfile).
+  const gpusim::RunProfile& profile() const { return device_->profile(); }
   const graph::Graph& graph() const { return *graph_; }
   GraphAccessor& accessor() { return accessor_; }
   const GammaOptions& options() const { return options_; }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gpusim/device_memory.h"
+#include "gpusim/profile.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/stats.h"
 #include "gpusim/unified_memory.h"
@@ -40,6 +41,13 @@ class Device {
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
   HostMemoryTracker& host_tracker() { return host_tracker_; }
+  const HostMemoryTracker& host_tracker() const { return host_tracker_; }
+
+  /// Per-run phase attribution, filled by PhaseScope (the engine opens one
+  /// per primitive call). Lives on the device so that any component that
+  /// can charge traffic can also be profiled against it.
+  RunProfile& profile() { return profile_; }
+  const RunProfile& profile() const { return profile_; }
 
   /// Total simulated time since construction (cycles / seconds / ms).
   double now_cycles() const { return clock_cycles_; }
@@ -127,6 +135,7 @@ class Device {
   DeviceStats stats_;
   UnifiedMemory unified_;
   HostMemoryTracker host_tracker_;
+  RunProfile profile_;
   DeviceBuffer um_buffer_reservation_;
   double clock_cycles_ = 0;
   std::size_t kernel_pcie_bytes_ = 0;

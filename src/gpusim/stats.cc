@@ -2,7 +2,52 @@
 
 #include <sstream>
 
+#include "common/json.h"
+
 namespace gpm::gpusim {
+
+std::span<const DeviceStats::Field> DeviceStats::Fields() {
+  static constexpr Field kFields[] = {
+      {"kernel_launches", &DeviceStats::kernel_launches},
+      {"warp_tasks", &DeviceStats::warp_tasks},
+      {"um_page_faults", &DeviceStats::um_page_faults},
+      {"um_page_hits", &DeviceStats::um_page_hits},
+      {"um_migrated_bytes", &DeviceStats::um_migrated_bytes},
+      {"um_evictions", &DeviceStats::um_evictions},
+      {"zc_transactions", &DeviceStats::zc_transactions},
+      {"zc_bytes", &DeviceStats::zc_bytes},
+      {"device_reads", &DeviceStats::device_reads},
+      {"device_read_bytes", &DeviceStats::device_read_bytes},
+      {"device_writes", &DeviceStats::device_writes},
+      {"device_write_bytes", &DeviceStats::device_write_bytes},
+      {"explicit_h2d_bytes", &DeviceStats::explicit_h2d_bytes},
+      {"explicit_d2h_bytes", &DeviceStats::explicit_d2h_bytes},
+      {"pool_block_requests", &DeviceStats::pool_block_requests},
+      {"pool_blocks_wasted", &DeviceStats::pool_blocks_wasted},
+  };
+  return kFields;
+}
+
+DeviceStats DeviceStats::Diff(const DeviceStats& since) const {
+  DeviceStats d;
+  for (const Field& f : Fields()) {
+    uint64_t now = this->*f.member;
+    uint64_t was = since.*f.member;
+    d.*f.member = now >= was ? now - was : 0;
+  }
+  return d;
+}
+
+std::string StatsJson(const DeviceStats& stats) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    w.Key(f.name).Value(stats.*f.member);
+  }
+  w.EndObject();
+  return os.str();
+}
 
 std::string DeviceStats::ToString() const {
   std::ostringstream os;

@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace gpm::gpusim {
 
 /// Hardware event counters accumulated over the lifetime of a Device.
-/// Benches read these to report memory traffic and fault behaviour.
+/// Benches read these to report memory traffic and fault behaviour;
+/// Snapshot()/Diff() attribute them to phases or code regions.
 struct DeviceStats {
   uint64_t kernel_launches = 0;
   uint64_t warp_tasks = 0;
@@ -37,9 +39,29 @@ struct DeviceStats {
   uint64_t pool_block_requests = 0;
   uint64_t pool_blocks_wasted = 0;
 
+  /// One named counter; Fields() enumerates every counter exactly once, so
+  /// Diff(), StatsJson(), and the tests cannot drift from the struct.
+  struct Field {
+    const char* name;
+    uint64_t DeviceStats::*member;
+  };
+  static std::span<const Field> Fields();
+
+  /// Copy of the counters at this instant (the live object keeps
+  /// accumulating).
+  DeviceStats Snapshot() const { return *this; }
+
+  /// Per-field difference `*this - since`, saturating at zero. Taking a
+  /// Snapshot() before a region and Diff()ing after it yields the traffic
+  /// attributable to that region.
+  DeviceStats Diff(const DeviceStats& since) const;
+
   void Reset() { *this = DeviceStats(); }
   std::string ToString() const;
 };
+
+/// Renders every DeviceStats counter as one JSON object.
+std::string StatsJson(const DeviceStats& stats);
 
 /// Tracks simulated host-memory footprint (embedding tables, graph copies).
 /// Fig. 10 reports peak host+device memory; device peak comes from the

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "gpusim/device.h"
 #include "gpusim/host_array.h"
+#include "gpusim/profile.h"
 
 namespace gpm::gpusim {
 namespace {
@@ -280,6 +283,128 @@ TEST(StatsTest, ToStringMentionsCounters) {
   stats.um_page_faults = 5;
   std::string s = stats.ToString();
   EXPECT_NE(s.find("um_faults=5"), std::string::npos);
+}
+
+TEST(StatsTest, FieldsEnumerateEveryCounterOnce) {
+  // Setting each field through its member pointer to a distinct value and
+  // summing the struct proves the table hits every counter exactly once
+  // (a missing or duplicated entry changes the sum).
+  DeviceStats stats;
+  uint64_t expected_sum = 0;
+  uint64_t v = 1;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    stats.*f.member = v;
+    expected_sum += v;
+    ++v;
+  }
+  uint64_t sum = 0;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    sum += stats.*f.member;
+  }
+  EXPECT_EQ(sum, expected_sum);
+  EXPECT_EQ(DeviceStats::Fields().size(), 16u);
+}
+
+TEST(StatsTest, SnapshotDiffRoundTrip) {
+  DeviceStats before;
+  uint64_t v = 10;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    before.*f.member = v++;
+  }
+  DeviceStats after = before.Snapshot();
+  uint64_t inc = 1;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    after.*f.member += inc++;
+  }
+  DeviceStats delta = after.Diff(before);
+  inc = 1;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    EXPECT_EQ(delta.*f.member, inc) << f.name;
+    EXPECT_EQ(before.*f.member + delta.*f.member, after.*f.member)
+        << f.name;
+    ++inc;
+  }
+  // Diff saturates rather than wrapping when counters ran backwards.
+  DeviceStats negative = before.Diff(after);
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    EXPECT_EQ(negative.*f.member, 0u) << f.name;
+  }
+}
+
+TEST(StatsTest, JsonListsEveryCounter) {
+  DeviceStats stats;
+  uint64_t v = 100;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    stats.*f.member = v++;
+  }
+  std::string json = StatsJson(stats);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  v = 100;
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    std::string entry =
+        std::string("\"") + f.name + "\": " + std::to_string(v++);
+    EXPECT_NE(json.find(entry), std::string::npos) << entry;
+  }
+}
+
+TEST(ProfileTest, PhaseScopeAttributesDeltasByName) {
+  Device device(SmallParams());
+  for (int i = 0; i < 2; ++i) {
+    PhaseScope scope(&device, &device.profile(), "zc-phase");
+    device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+      w.ZeroCopyRead(300);  // 3 x 128B transactions
+    });
+  }
+  {
+    PhaseScope scope(&device, &device.profile(), "idle-phase");
+  }
+  const PhaseRecord* zc = device.profile().Find("zc-phase");
+  ASSERT_NE(zc, nullptr);
+  EXPECT_EQ(zc->invocations, 2u);
+  EXPECT_EQ(zc->delta.kernel_launches, 2u);
+  EXPECT_EQ(zc->delta.zc_transactions, 6u);
+  EXPECT_GT(zc->cycles, 0.0);
+  const PhaseRecord* idle = device.profile().Find("idle-phase");
+  ASSERT_NE(idle, nullptr);
+  EXPECT_EQ(idle->invocations, 1u);
+  EXPECT_EQ(idle->delta.zc_transactions, 0u);
+  EXPECT_EQ(device.profile().Find("never-ran"), nullptr);
+}
+
+TEST(ProfileTest, NullProfileScopeIsNoOp) {
+  Device device(SmallParams());
+  {
+    PhaseScope scope(&device, nullptr, "ignored");
+    device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+      w.ChargeCompute(10);
+    });
+  }
+  EXPECT_TRUE(device.profile().phases().empty());
+}
+
+TEST(ProfileTest, ToJsonCarriesTotalsPhasesAndTrace) {
+  Device device(SmallParams());
+  device.set_trace_enabled(true);
+  {
+    PhaseScope scope(&device, &device.profile(), "alpha");
+    device.LaunchKernel(2, [](WarpCtx& w, std::size_t) {
+      w.ZeroCopyRead(128);
+    }, "alpha-kernel");
+  }
+  std::string json = device.profile().ToJson(device);
+  EXPECT_NE(json.find("\"schema\": \"gamma.profile.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha-kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"invocations\": 1"), std::string::npos);
+  // The counters object inside each section lists every field by name.
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    EXPECT_NE(json.find(std::string("\"") + f.name + "\""),
+              std::string::npos)
+        << f.name;
+  }
 }
 
 }  // namespace
