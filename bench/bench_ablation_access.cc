@@ -50,8 +50,5 @@ int main(int argc, char** argv) {
           [ds, p](benchmark::State& s) { BM_Access(s, ds, p, 4); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -44,8 +44,5 @@ int main(int argc, char** argv) {
           [ds, bytes](benchmark::State& s) { BM_Blocks(s, ds, bytes); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -53,8 +53,5 @@ int main(int argc, char** argv) {
           [ds, s2](benchmark::State& s) { BM_Reorder(s, ds, s2); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -3,11 +3,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/presets.h"
 #include "baselines/systems.h"
+#include "common/json.h"
 #include "graph/datasets.h"
 #include "gpusim/device.h"
 #include "gpusim/profile.h"
@@ -57,16 +62,130 @@ inline const graph::Graph& Dataset(const std::string& name) {
   return it->second;
 }
 
+/// One variant run captured for the machine-readable bench export: the
+/// benchmark's full name, its outcome, simulated time/cycles, the device
+/// configuration it ran on, and the complete hardware-counter and
+/// per-phase breakdown.
+struct BenchRun {
+  std::string name;
+  bool skipped = false;
+  std::string error;
+  double sim_millis = 0;
+  double cycles = 0;
+  std::size_t device_memory_bytes = 0;
+  std::size_t um_device_buffer_bytes = 0;
+  int num_warp_slots = 0;
+  std::size_t peak_device_bytes = 0;
+  std::size_t peak_host_bytes = 0;
+  gpusim::DeviceStats counters;
+  std::vector<gpusim::PhaseRecord> phases;
+};
+
+/// Collects every RegisterSim run of a bench binary and writes one
+/// versioned `gamma.bench.v1` JSON document, so CI and future PRs can
+/// diff perf trajectories instead of scraping console tables. Enabled by
+/// the `--json=<file>` flag (see `Main()`); zero-cost when disabled.
+class BenchJson {
+ public:
+  static BenchJson& Get() {
+    static BenchJson* instance = new BenchJson();
+    return *instance;
+  }
+
+  void Enable(std::string path, std::string binary) {
+    path_ = std::move(path);
+    binary_ = std::move(binary);
+  }
+  bool enabled() const { return !path_.empty(); }
+
+  /// Opens a fresh record; subsequent Report*/SkipCrashed calls fill it.
+  void BeginRun(const std::string& name) {
+    if (!enabled()) return;
+    runs_.emplace_back();
+    runs_.back().name = name;
+  }
+
+  /// The record being filled, or nullptr when the export is disabled.
+  BenchRun* Current() {
+    return enabled() && !runs_.empty() ? &runs_.back() : nullptr;
+  }
+
+  /// Writes the document; returns false (with a message) on I/O failure.
+  bool Write() const {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.BeginObject();
+    w.Key("schema").Value("gamma.bench.v1");
+    w.Key("binary").Value(binary_);
+    w.Key("runs").BeginArray();
+    for (const BenchRun& r : runs_) {
+      w.BeginObject();
+      w.Key("name").Value(r.name);
+      w.Key("skipped").Value(r.skipped);
+      if (!r.error.empty()) w.Key("error").Value(r.error);
+      w.Key("sim_millis").Value(r.sim_millis);
+      w.Key("cycles").Value(r.cycles);
+      w.Key("params").BeginObject();
+      w.Key("device_memory_bytes").Value(r.device_memory_bytes);
+      w.Key("um_device_buffer_bytes").Value(r.um_device_buffer_bytes);
+      w.Key("num_warp_slots").Value(r.num_warp_slots);
+      w.EndObject();
+      w.Key("peak_device_bytes").Value(r.peak_device_bytes);
+      w.Key("peak_host_bytes").Value(r.peak_host_bytes);
+      w.Key("counters").BeginObject();
+      for (const gpusim::DeviceStats::Field& f :
+           gpusim::DeviceStats::Fields()) {
+        w.Key(f.name).Value(r.counters.*f.member);
+      }
+      w.EndObject();
+      w.Key("phases").BeginArray();
+      for (const gpusim::PhaseRecord& ph : r.phases) {
+        w.BeginObject();
+        w.Key("name").Value(ph.name);
+        w.Key("invocations").Value(ph.invocations);
+        w.Key("cycles").Value(ph.cycles);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    os << '\n';
+
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    out << os.str();
+    std::printf("bench JSON written to %s (%zu runs)\n", path_.c_str(),
+                runs_.size());
+    return true;
+  }
+
+ private:
+  BenchJson() = default;
+  std::string path_;
+  std::string binary_;
+  std::vector<BenchRun> runs_;
+};
+
 /// Reports one completed system run: simulated time becomes the manual
 /// iteration time, so the benchmark table reads in simulated seconds.
 inline void ReportSimMillis(benchmark::State& state, double sim_millis) {
   state.SetIterationTime(sim_millis / 1e3);
   state.counters["sim_ms"] = sim_millis;
+  if (BenchRun* r = BenchJson::Get().Current()) r->sim_millis = sim_millis;
 }
 
 /// Standard skip for the paper's "crashed on this dataset" cases.
 inline void SkipCrashed(benchmark::State& state, const Status& status) {
   state.SkipWithError(status.ToString().c_str());
+  if (BenchRun* r = BenchJson::Get().Current()) {
+    r->skipped = true;
+    r->error = status.ToString();
+  }
 }
 
 /// Attaches the run's memory-traffic counters and per-phase simulated time
@@ -85,17 +204,64 @@ inline void ReportProfile(benchmark::State& state,
     state.counters[ph.name + "_ms"] =
         device.params().CyclesToMillis(ph.cycles);
   }
+  if (BenchRun* r = BenchJson::Get().Current()) {
+    r->cycles = device.now_cycles();
+    r->device_memory_bytes = device.params().device_memory_bytes;
+    r->um_device_buffer_bytes = device.params().um_device_buffer_bytes;
+    r->num_warp_slots = device.params().num_warp_slots;
+    r->peak_device_bytes = device.PeakDeviceBytes();
+    r->peak_host_bytes = device.host_tracker().peak_bytes();
+    r->counters = device.stats().Snapshot();
+    r->phases = device.profile().phases();
+  }
 }
 
 /// Registers a single-shot manual-time benchmark. The installed
 /// google-benchmark lacks the variadic RegisterBenchmark overload, so
-/// benches bind their arguments in a capturing lambda.
+/// benches bind their arguments in a capturing lambda. The wrapper also
+/// opens a BenchJson record per run (the installed benchmark::State has
+/// no name accessor, so the name is threaded through here).
 template <typename Fn>
 benchmark::internal::Benchmark* RegisterSim(const std::string& name,
                                             Fn fn) {
-  return benchmark::RegisterBenchmark(name.c_str(), fn)
+  return benchmark::RegisterBenchmark(
+             name.c_str(),
+             [name, fn](benchmark::State& state) mutable {
+               BenchJson::Get().BeginRun(name);
+               fn(state);
+             })
       ->UseManualTime()
       ->Iterations(1);
+}
+
+/// Shared bench-binary entry point: strips `--json=<file>` from the
+/// arguments (everything else goes to google-benchmark as usual), runs
+/// the registered benchmarks, and writes the `gamma.bench.v1` document
+/// when requested. Call after registering all benchmarks:
+///   `return bench::Main(argc, argv);`
+inline int Main(int argc, char** argv) {
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!json_path.empty()) {
+    std::string binary = argv[0];
+    std::size_t slash = binary.find_last_of('/');
+    if (slash != std::string::npos) binary = binary.substr(slash + 1);
+    BenchJson::Get().Enable(json_path, binary);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty() && !BenchJson::Get().Write()) return 1;
+  return 0;
 }
 
 }  // namespace gpm::bench

@@ -48,8 +48,5 @@ int main(int argc, char** argv) {
         (std::string("GenerateDataset/") + name).c_str(),
         [ds](benchmark::State& state) { BM_GenerateDataset(state, ds); });
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -107,8 +107,5 @@ int main(int argc, char** argv) {
           [ds, k](benchmark::State& s) { BM_KclLocality(s, ds, k); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

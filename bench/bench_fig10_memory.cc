@@ -123,8 +123,5 @@ int main(int argc, char** argv) {
                          BM_MemoryFpm(s, ds, System::kPangolinGpu);
                        });
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -85,8 +85,5 @@ int main(int argc, char** argv) {
           [ds, which](benchmark::State& s) { BM_Kcl(s, ds, 5, which); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

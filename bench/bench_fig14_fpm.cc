@@ -92,8 +92,5 @@ int main(int argc, char** argv) {
           [ds, which](benchmark::State& s) { BM_Fpm(s, ds, which); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -40,8 +40,5 @@ int main(int argc, char** argv) {
           [ds, warps](benchmark::State& s) { BM_Warps(s, ds, warps); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -65,8 +65,5 @@ int main(int argc, char** argv) {
           [ds, v](benchmark::State& s) { BM_OptSm(s, ds, v); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

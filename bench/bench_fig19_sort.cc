@@ -68,8 +68,5 @@ int main(int argc, char** argv) {
                          });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -95,8 +95,5 @@ int main(int argc, char** argv) {
           [ds, p](benchmark::State& s) { BM_HybridFpm(s, ds, p); });
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -123,8 +123,5 @@ int main(int argc, char** argv) {
   bench::RegisterSim("MicroMemory/unified-cold-fault", BM_UnifiedColdFault);
   bench::RegisterSim("MicroMemory/unified-prefetched", BM_UnifiedPrefetched);
   bench::RegisterSim("MicroMemory/zero-copy-stream", BM_ZeroCopyStream);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return bench::Main(argc, argv);
 }

@@ -47,6 +47,10 @@ struct CliOptions {
   bool show_stats = false;
   bool trace = false;
   std::string profile_json;
+  std::string trace_out;
+  std::string metrics_out;
+  std::size_t trace_capacity = 0;  // 0 = keep the default
+  double metrics_interval = 100000;
 };
 
 void Usage() {
@@ -69,7 +73,15 @@ void Usage() {
       "  --stats            print hardware counters\n"
       "  --trace            print per-kernel cycle breakdown\n"
       "  --profile-json F   write the run profile (per-phase cycles and\n"
-      "                     memory traffic, totals, kernel trace) to F");
+      "                     memory traffic, totals, kernel trace) to F\n"
+      "  --trace-out F      write a Chrome trace-event JSON timeline\n"
+      "                     (kernels, phases, warp slots, UM page events;\n"
+      "                     open in Perfetto or chrome://tracing)\n"
+      "  --trace-capacity N cap buffered trace events / kernel records\n"
+      "                     (default 65536; overflow counted, not stored)\n"
+      "  --metrics-out F    write a gamma.metrics.v1 counter time-series\n"
+      "  --metrics-interval N  metrics sampling interval in simulated\n"
+      "                     cycles (default 100000)");
 }
 
 bool Parse(int argc, char** argv, CliOptions* o) {
@@ -112,6 +124,14 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->trace = true;
     } else if (a == "--profile-json") {
       o->profile_json = next();
+    } else if (a == "--trace-out") {
+      o->trace_out = next();
+    } else if (a == "--trace-capacity") {
+      o->trace_capacity = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--metrics-out") {
+      o->metrics_out = next();
+    } else if (a == "--metrics-interval") {
+      o->metrics_interval = std::strtod(next(), nullptr);
     } else if (a == "--help" || a == "-h") {
       Usage();
       return false;
@@ -173,6 +193,11 @@ int main(int argc, char** argv) {
   // The JSON profile embeds the kernel trace, so --profile-json implies
   // tracing.
   if (o.trace || !o.profile_json.empty()) device.set_trace_enabled(true);
+  if (o.trace_capacity > 0) device.set_trace_capacity(o.trace_capacity);
+  if (!o.trace_out.empty()) device.trace().set_enabled(true);
+  if (!o.metrics_out.empty()) {
+    device.metrics().set_interval_cycles(o.metrics_interval);
+  }
   core::GammaEngine engine(&device, &g, FrameworkOptions(o));
   if (Status st = engine.Prepare(); !st.ok()) {
     std::fprintf(stderr, "prepare: %s\n", st.ToString().c_str());
@@ -278,9 +303,43 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << device.profile().ToJson(device);
-    std::printf("profile written to %s (%zu phases, %zu kernel records)\n",
+    std::printf("profile written to %s (%zu phases, %zu kernel records",
                 o.profile_json.c_str(), device.profile().phases().size(),
                 device.kernel_trace().size());
+    if (device.dropped_kernel_records() > 0) {
+      std::printf(", %llu dropped",
+                  static_cast<unsigned long long>(
+                      device.dropped_kernel_records()));
+    }
+    std::printf(")\n");
+  }
+  if (!o.trace_out.empty()) {
+    std::ofstream out(o.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   o.trace_out.c_str());
+      return 1;
+    }
+    out << device.trace().ToChromeTraceJson(device.params());
+    std::printf("timeline written to %s (%zu events, %llu dropped; open in "
+                "Perfetto)\n",
+                o.trace_out.c_str(), device.trace().events().size(),
+                static_cast<unsigned long long>(
+                    device.trace().dropped_events()));
+  }
+  if (!o.metrics_out.empty()) {
+    // Pin the final state so the series always covers the whole run.
+    device.metrics().ForceSample(device);
+    std::ofstream out(o.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   o.metrics_out.c_str());
+      return 1;
+    }
+    out << device.metrics().ToJson(device);
+    std::printf("metrics written to %s (%zu samples every %.0f cycles)\n",
+                o.metrics_out.c_str(), device.metrics().samples().size(),
+                device.metrics().interval_cycles());
   }
   return 0;
 }

@@ -8,6 +8,9 @@ Device::Device(SimParams params)
     : params_(params),
       memory_(params.device_memory_bytes),
       unified_(params_, &stats_) {
+  // Page-level fault/hit/eviction events land on the timeline recorder,
+  // stamped with the device clock (kernel-boundary resolution).
+  unified_.BindTrace(&trace_recorder_, &clock_cycles_);
   // The unified-memory page buffer is carved out of device memory so that
   // in-core data structures compete with it for space, like on real
   // hardware.
@@ -25,6 +28,7 @@ double Device::CopyHostToDevice(std::size_t bytes) {
   double cycles = params_.pcie_latency_cycles +
                   static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
   clock_cycles_ += cycles;
+  metrics_.MaybeSample(*this);
   return cycles;
 }
 
@@ -33,6 +37,7 @@ double Device::CopyDeviceToHost(std::size_t bytes) {
   double cycles = params_.pcie_latency_cycles +
                   static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
   clock_cycles_ += cycles;
+  metrics_.MaybeSample(*this);
   return cycles;
 }
 

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "gpusim/device_memory.h"
+#include "gpusim/metrics.h"
 #include "gpusim/profile.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/stats.h"
+#include "gpusim/trace.h"
 #include "gpusim/unified_memory.h"
 #include "gpusim/warp.h"
 
@@ -37,7 +39,9 @@ class Device {
 
   const SimParams& params() const { return params_; }
   DeviceMemory& memory() { return memory_; }
+  const DeviceMemory& memory() const { return memory_; }
   UnifiedMemory& unified() { return unified_; }
+  const UnifiedMemory& unified() const { return unified_; }
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
   HostMemoryTracker& host_tracker() { return host_tracker_; }
@@ -48,6 +52,16 @@ class Device {
   /// can charge traffic can also be profiled against it.
   RunProfile& profile() { return profile_; }
   const RunProfile& profile() const { return profile_; }
+
+  /// Timeline recorder (kernel/phase/warp-slot spans, UM page events).
+  /// Disabled by default; see TraceRecorder for the Chrome-trace export.
+  TraceRecorder& trace() { return trace_recorder_; }
+  const TraceRecorder& trace() const { return trace_recorder_; }
+
+  /// Periodic DeviceStats/occupancy sampler (gamma.metrics.v1 export).
+  /// Disabled until an interval is set; fed on every clock advance.
+  MetricsSampler& metrics() { return metrics_; }
+  const MetricsSampler& metrics() const { return metrics_; }
 
   /// Total simulated time since construction (cycles / seconds / ms).
   double now_cycles() const { return clock_cycles_; }
@@ -61,7 +75,10 @@ class Device {
 
   /// Adds host-side (CPU) work to the simulated timeline, e.g. flushing and
   /// reorganizing buffers between kernels.
-  void ChargeHostWork(double cycles) { clock_cycles_ += cycles; }
+  void ChargeHostWork(double cycles) {
+    clock_cycles_ += cycles;
+    metrics_.MaybeSample(*this);
+  }
 
   /// Explicit cudaMemcpy-style transfer; advances the clock and returns the
   /// cycles spent. Used by baselines with explicit data movement.
@@ -83,11 +100,24 @@ class Device {
     double total_cycles = 0;
   };
 
-  /// Enables per-kernel tracing (off by default; the trace is unbounded,
-  /// so enable it for diagnosis, not for long sweeps).
+  /// Enables per-kernel record keeping (off by default). Records are
+  /// bounded by `trace_capacity()`; overflow is counted in
+  /// `dropped_kernel_records()` rather than growing without limit.
   void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
   const std::vector<KernelRecord>& kernel_trace() const { return trace_; }
-  void ClearTrace() { trace_.clear(); }
+  uint64_t dropped_kernel_records() const { return dropped_kernel_records_; }
+  void ClearTrace() {
+    trace_.clear();
+    dropped_kernel_records_ = 0;
+  }
+
+  /// Caps both the kernel-record list and the timeline recorder's event
+  /// buffer at `capacity` entries each.
+  void set_trace_capacity(std::size_t capacity) {
+    trace_capacity_ = capacity;
+    trace_recorder_.set_capacity(capacity);
+  }
+  std::size_t trace_capacity() const { return trace_capacity_; }
 
   /// Runs `num_tasks` warp tasks through `fn(WarpCtx&, task_id)`.
   /// Returns the kernel's simulated cycles (also added to the clock).
@@ -98,23 +128,32 @@ class Device {
     ++stats_.kernel_launches;
     stats_.warp_tasks += num_tasks;
     kernel_pcie_bytes_ = 0;
+    const double start_cycles = clock_cycles_;
 
     const int slots = std::max(1, params_.num_warp_slots);
-    // Min-heap of slot finish times: greedy list scheduling gives the
-    // makespan of the warp tasks over the resident-warp slots.
-    std::priority_queue<double, std::vector<double>, std::greater<double>>
+    // Min-heap of (finish time, slot) pairs: greedy list scheduling gives
+    // the makespan of the warp tasks over the resident-warp slots; the
+    // slot index lets the timeline recorder draw per-slot occupancy.
+    using SlotTime = std::pair<double, int>;
+    std::priority_queue<SlotTime, std::vector<SlotTime>,
+                        std::greater<SlotTime>>
         finish;
-    for (int i = 0; i < slots; ++i) finish.push(0.0);
+    for (int i = 0; i < slots; ++i) finish.push({0.0, i});
+    const bool record_slots = trace_recorder_.enabled();
+    std::vector<double> slot_busy;
+    if (record_slots) slot_busy.assign(static_cast<std::size_t>(slots), 0.0);
     for (std::size_t t = 0; t < num_tasks; ++t) {
       WarpCtx warp(this, t);
       fn(warp, t);
-      double start = finish.top();
+      auto [start, slot] = finish.top();
       finish.pop();
-      finish.push(start + warp.cycles());
+      double end = start + warp.cycles();
+      finish.push({end, slot});
+      if (record_slots) slot_busy[static_cast<std::size_t>(slot)] = end;
     }
     double makespan = 0.0;
     while (!finish.empty()) {
-      makespan = finish.top();
+      makespan = finish.top().first;
       finish.pop();
     }
     double pcie_cycles =
@@ -123,9 +162,27 @@ class Device {
         params_.kernel_launch_cycles + std::max(makespan, pcie_cycles);
     clock_cycles_ += kernel_cycles;
     if (trace_enabled_) {
-      trace_.push_back(
-          {name, num_tasks, makespan, pcie_cycles, kernel_cycles});
+      if (trace_.size() < trace_capacity_) {
+        trace_.push_back(
+            {name, num_tasks, makespan, pcie_cycles, kernel_cycles});
+      } else {
+        ++dropped_kernel_records_;
+      }
     }
+    if (trace_recorder_.enabled()) {
+      trace_recorder_.RecordSpan(TraceRecorder::Kind::kKernel, name,
+                                 start_cycles, clock_cycles_);
+      // Slot busy intervals start after the launch overhead and end at the
+      // slot's last task; they always nest inside the kernel span.
+      const double work_start = start_cycles + params_.kernel_launch_cycles;
+      for (int slot = 0; slot < slots; ++slot) {
+        double busy = slot_busy[static_cast<std::size_t>(slot)];
+        if (busy <= 0.0) continue;
+        trace_recorder_.RecordSpan(TraceRecorder::Kind::kWarpSlot, name,
+                                   work_start, work_start + busy, slot);
+      }
+    }
+    metrics_.MaybeSample(*this);
     return kernel_cycles;
   }
 
@@ -136,10 +193,14 @@ class Device {
   UnifiedMemory unified_;
   HostMemoryTracker host_tracker_;
   RunProfile profile_;
+  TraceRecorder trace_recorder_;
+  MetricsSampler metrics_;
   DeviceBuffer um_buffer_reservation_;
   double clock_cycles_ = 0;
   std::size_t kernel_pcie_bytes_ = 0;
   bool trace_enabled_ = false;
+  std::size_t trace_capacity_ = TraceRecorder::kDefaultCapacity;
+  uint64_t dropped_kernel_records_ = 0;
   std::vector<KernelRecord> trace_;
 };
 

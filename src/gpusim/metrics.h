@@ -1,0 +1,86 @@
+#ifndef GAMMA_GPUSIM_METRICS_H_
+#define GAMMA_GPUSIM_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpusim/stats.h"
+
+namespace gpm::gpusim {
+
+class Device;
+
+/// Periodic sampler of the device's observable state over simulated time.
+///
+/// Every `interval_cycles` of simulated time (checked whenever the clock
+/// advances: kernel completion, explicit copies, host work), the sampler
+/// snapshots every `DeviceStats` counter — via `DeviceStats::Fields()`, so
+/// the series cannot drift from the struct — plus device-memory and
+/// unified-page-buffer occupancy and the host footprint. The resulting
+/// time-series (`gamma.metrics.v1` JSON via `ToJson()`) is what UM
+/// residency heatmaps and the adaptive accessor's UM/ZC crossover plots
+/// are drawn from.
+///
+/// The clock advances in discrete jumps (a whole kernel at a time), so
+/// samples land on the first clock edge at or after each interval
+/// boundary; consecutive samples are therefore *at least* one interval
+/// apart. Disabled by default (interval 0); sampling costs one comparison
+/// per clock advance when disabled.
+class MetricsSampler {
+ public:
+  /// One snapshot of device state at `cycles` of simulated time.
+  struct Sample {
+    double cycles = 0;
+    std::size_t device_used_bytes = 0;
+    std::size_t device_peak_bytes = 0;
+    std::size_t um_resident_pages = 0;
+    std::size_t um_capacity_pages = 0;
+    std::size_t host_bytes = 0;
+    DeviceStats counters;
+  };
+
+  MetricsSampler() = default;
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Enables sampling every `cycles` of simulated time (0 disables). The
+  /// first sample lands on the first clock edge at or after one interval.
+  void set_interval_cycles(double cycles) {
+    interval_cycles_ = cycles;
+    next_sample_cycles_ = cycles;
+  }
+  double interval_cycles() const { return interval_cycles_; }
+  bool enabled() const { return interval_cycles_ > 0; }
+
+  /// Samples if at least one interval elapsed since the last sample.
+  /// Called by the Device after every clock advance.
+  void MaybeSample(const Device& device);
+
+  /// Unconditionally appends a sample at the current clock (e.g. to pin
+  /// the final state of a run before export).
+  void ForceSample(const Device& device);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  void Clear() {
+    samples_.clear();
+    next_sample_cycles_ = interval_cycles_;
+  }
+
+  /// Renders the series as a `gamma.metrics.v1` JSON document: a `columns`
+  /// array naming every value (gauges first, then each DeviceStats field
+  /// in `Fields()` order) and a row-per-sample `samples` array.
+  std::string ToJson(const Device& device) const;
+
+ private:
+  void Take(const Device& device);
+
+  double interval_cycles_ = 0;
+  double next_sample_cycles_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_METRICS_H_

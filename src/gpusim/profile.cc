@@ -83,6 +83,9 @@ std::string RunProfile::ToJson(const Device& device) const {
     w.EndObject();
   }
   w.EndArray();
+  // Kernel records are bounded by Device::trace_capacity(); overflow is
+  // counted, not silently truncated.
+  w.Key("kernel_trace_dropped").Value(device.dropped_kernel_records());
 
   w.EndObject();
   os << '\n';
@@ -97,6 +100,12 @@ PhaseScope::PhaseScope(Device* device, RunProfile* profile, std::string name)
       start_stats_(device->stats().Snapshot()) {}
 
 PhaseScope::~PhaseScope() {
+  // The timeline recorder gets the phase span even when no RunProfile is
+  // attached — the two consumers are independent.
+  if (device_->trace().enabled()) {
+    device_->trace().RecordSpan(TraceRecorder::Kind::kPhase, name_,
+                                start_cycles_, device_->now_cycles());
+  }
   if (profile_ == nullptr) return;
   profile_->Record(name_, device_->now_cycles() - start_cycles_,
                    device_->stats().Diff(start_stats_));

@@ -54,7 +54,8 @@ class RunProfile {
 
 /// RAII phase marker: snapshots the device clock and counters at
 /// construction and attributes the difference to `name` in `profile` at
-/// destruction. A null profile makes the scope a no-op.
+/// destruction. A null profile skips the RunProfile record; the device's
+/// timeline recorder, when enabled, still gets the phase span either way.
 class PhaseScope {
  public:
   PhaseScope(Device* device, RunProfile* profile, std::string name);

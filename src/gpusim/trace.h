@@ -1,0 +1,109 @@
+#ifndef GAMMA_GPUSIM_TRACE_H_
+#define GAMMA_GPUSIM_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/sim_params.h"
+
+namespace gpm::gpusim {
+
+/// Bounded timeline recorder for the simulated device.
+///
+/// Where `DeviceStats` answers *how much* (aggregate counters) and
+/// `RunProfile` answers *which phase* (per-phase deltas), the TraceRecorder
+/// answers *when*: it records begin/end events in simulated cycles for
+/// kernels, RunProfile phases, per-warp-slot occupancy, and unified-memory
+/// page-buffer events (fault / hit / eviction / prefetch with page ids).
+/// `ToChromeTraceJson()` renders the buffer as Chrome trace-event JSON,
+/// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing, with
+/// kernels, phases, UM page events, and each warp slot as separate tracks.
+///
+/// The buffer is bounded: once `capacity()` events are stored, further
+/// events are dropped and counted in `dropped_events()` (the earliest
+/// events win, so a truncated trace still starts at t=0 and every stored
+/// span is complete). Recording is off by default; enabling it costs one
+/// branch per event source when idle.
+class TraceRecorder {
+ public:
+  /// Default event bound: enough for every kernel/phase/slot span plus the
+  /// UM page events of a mid-sized run, ~10 MB worst case.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  enum class Kind : uint8_t {
+    kKernel,      // one kernel launch (span)
+    kPhase,       // one PhaseScope (span)
+    kWarpSlot,    // one slot's busy interval inside a kernel (span)
+    kUmFault,     // page fault + migration (instant, region/page)
+    kUmHit,       // access to a resident page (instant, region/page)
+    kUmEviction,  // LRU eviction from the page buffer (instant)
+    kUmPrefetch,  // bulk migration without fault penalty (instant)
+  };
+
+  /// One recorded event. Spans use [begin_cycles, end_cycles]; instants
+  /// have begin == end. `track` is the warp-slot index for kWarpSlot;
+  /// `region`/`page` identify the page for UM events.
+  struct Event {
+    Kind kind;
+    std::string name;
+    double begin_cycles = 0;
+    double end_cycles = 0;
+    int track = 0;
+    uint32_t region = 0;
+    uint64_t page = 0;
+  };
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+
+  const std::vector<Event>& events() const { return events_; }
+  uint64_t dropped_events() const { return dropped_; }
+
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Records a completed span. No-op (uncounted) while disabled; counted
+  /// as dropped when the buffer is full.
+  void RecordSpan(Kind kind, std::string_view name, double begin_cycles,
+                  double end_cycles, int track = 0);
+
+  /// Records an instantaneous unified-memory page event at `ts_cycles`.
+  void RecordUmEvent(Kind kind, double ts_cycles, uint32_t region,
+                     uint64_t page);
+
+  /// Renders the buffer as a Chrome trace-event JSON document
+  /// (`gamma.trace.v1`). Timestamps convert from cycles to microseconds
+  /// via `params`; `dropped_events` and the capacity are reported in
+  /// `otherData`. Kernel and phase spans are emitted as balanced "B"/"E"
+  /// pairs per track, UM page events as instants with region/page args.
+  std::string ToChromeTraceJson(const SimParams& params) const;
+
+ private:
+  bool Admit();
+
+  bool enabled_ = false;
+  std::size_t capacity_;
+  uint64_t dropped_ = 0;
+  std::vector<Event> events_;
+};
+
+/// Human-readable name of an event kind ("kernel", "um-fault", ...).
+const char* TraceKindName(TraceRecorder::Kind kind);
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_TRACE_H_

@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "gpusim/trace.h"
 
 namespace gpm::gpusim {
+
+namespace {
+
+constexpr uint64_t kPageMask = (uint64_t{1} << 48) - 1;
+
+// Emits one page-level timeline event when a recorder is bound and
+// enabled. The timestamp has kernel-boundary resolution: all events of
+// one kernel share its start time.
+void TracePage(TraceRecorder* trace, const double* now_cycles,
+               TraceRecorder::Kind kind, uint32_t region, uint64_t page) {
+  if (trace == nullptr || !trace->enabled()) return;
+  trace->RecordUmEvent(kind, now_cycles != nullptr ? *now_cycles : 0.0,
+                       region, page);
+}
+
+}  // namespace
 
 UnifiedMemory::RegionId UnifiedMemory::Register(std::size_t bytes) {
   RegionId id = next_region_++;
@@ -33,13 +50,16 @@ void UnifiedMemory::ResizeRegion(RegionId region, std::size_t new_bytes) {
 
 std::size_t UnifiedMemory::PrefetchPage(RegionId region,
                                         std::size_t offset) {
-  uint64_t key = PageKey(region, offset / params_.um_page_bytes);
+  uint64_t page = offset / params_.um_page_bytes;
+  uint64_t key = PageKey(region, page);
   if (resident_.count(key) > 0) {
     Touch(key);
     return 0;
   }
   InsertPage(key);
   stats_->um_migrated_bytes += params_.um_page_bytes;
+  TracePage(trace_, now_cycles_, TraceRecorder::Kind::kUmPrefetch, region,
+            page);
   return params_.um_page_bytes;
 }
 
@@ -67,9 +87,12 @@ void UnifiedMemory::Touch(uint64_t key) {
 void UnifiedMemory::InsertPage(uint64_t key) {
   if (capacity_pages_ == 0) return;  // No buffer: behaves like re-faulting.
   while (lru_.size() >= capacity_pages_) {
-    resident_.erase(lru_.back());
+    uint64_t victim = lru_.back();
+    resident_.erase(victim);
     lru_.pop_back();
     ++stats_->um_evictions;
+    TracePage(trace_, now_cycles_, TraceRecorder::Kind::kUmEviction,
+              static_cast<RegionId>(victim >> 48), victim & kPageMask);
   }
   lru_.push_front(key);
   resident_.emplace(key, lru_.begin());
@@ -96,6 +119,7 @@ AccessCharge UnifiedMemory::Access(RegionId region, std::size_t offset,
                        static_cast<double>(span) /
                            params_.device_bytes_per_cycle;
       Touch(key);
+      TracePage(trace_, now_cycles_, TraceRecorder::Kind::kUmHit, region, p);
     } else {
       // Page fault: fault handling plus whole-page migration.
       ++stats_->um_page_faults;
@@ -104,6 +128,8 @@ AccessCharge UnifiedMemory::Access(RegionId region, std::size_t offset,
                        static_cast<double>(page_bytes) /
                            params_.pcie_bytes_per_cycle;
       charge.pcie_bytes += page_bytes;
+      TracePage(trace_, now_cycles_, TraceRecorder::Kind::kUmFault, region,
+                p);
       InsertPage(key);
     }
   }

@@ -12,6 +12,8 @@
 
 namespace gpm::gpusim {
 
+class TraceRecorder;
+
 /// Charge produced by a memory access: warp stall cycles plus bytes that
 /// must cross the PCIe link (added to the current kernel's link traffic).
 struct AccessCharge {
@@ -40,6 +42,15 @@ class UnifiedMemory {
 
   UnifiedMemory(const UnifiedMemory&) = delete;
   UnifiedMemory& operator=(const UnifiedMemory&) = delete;
+
+  /// Routes page-level fault/hit/eviction/prefetch events to `trace`,
+  /// timestamped by `*now_cycles` (the owning device's clock). Both
+  /// pointers must outlive this object; the Device wires this up at
+  /// construction.
+  void BindTrace(TraceRecorder* trace, const double* now_cycles) {
+    trace_ = trace;
+    now_cycles_ = now_cycles;
+  }
 
   /// Registers a managed region of `bytes` bytes; returns its id.
   RegionId Register(std::size_t bytes);
@@ -82,6 +93,8 @@ class UnifiedMemory {
 
   const SimParams& params_;
   DeviceStats* stats_;
+  TraceRecorder* trace_ = nullptr;
+  const double* now_cycles_ = nullptr;
   std::size_t capacity_pages_;
   RegionId next_region_ = 1;
   std::unordered_map<RegionId, std::size_t> region_bytes_;

@@ -1,0 +1,169 @@
+// Tests for the periodic metrics sampler: the series matches hand-computed
+// DeviceStats deltas on a tiny kernel sequence, interval semantics
+// (disabled by default, huge intervals sample nothing, interval=1 samples
+// every clock advance), and the gamma.metrics.v1 JSON shape.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "gpusim/device.h"
+#include "gpusim/metrics.h"
+#include "minijson.h"
+
+namespace gpm::gpusim {
+namespace {
+
+SimParams SmallParams() {
+  SimParams p;
+  p.device_memory_bytes = 1 << 20;
+  p.um_device_buffer_bytes = 64 << 10;
+  return p;
+}
+
+TEST(MetricsSamplerTest, DisabledByDefault) {
+  Device device(SmallParams());
+  EXPECT_FALSE(device.metrics().enabled());
+  device.LaunchKernel(4, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(100);
+  });
+  device.ChargeHostWork(5000);
+  EXPECT_TRUE(device.metrics().samples().empty());
+}
+
+TEST(MetricsSamplerTest, SeriesMatchesHandComputedDeltas) {
+  SimParams params = SmallParams();
+  Device device(params);
+  // Interval 1: every clock advance crosses the next boundary, so the
+  // series gets exactly one sample per kernel/copy and the counters in
+  // consecutive samples are the per-step deltas.
+  device.metrics().set_interval_cycles(1);
+
+  // Step 1: one kernel, one task, a 300-byte zero-copy read.
+  device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+    w.ZeroCopyRead(300);
+  });
+  // Step 2: an explicit 1000-byte H2D copy (no kernel).
+  device.CopyHostToDevice(1000);
+  // Step 3: another kernel with two device reads of 64 bytes each.
+  device.LaunchKernel(2, [](WarpCtx& w, std::size_t) {
+    w.DeviceRead(64);
+  });
+
+  const auto& samples = device.metrics().samples();
+  ASSERT_EQ(samples.size(), 3u);
+
+  const std::size_t zc_tx =
+      (300 + params.zc_transaction_bytes - 1) / params.zc_transaction_bytes;
+  EXPECT_EQ(samples[0].counters.kernel_launches, 1u);
+  EXPECT_EQ(samples[0].counters.warp_tasks, 1u);
+  EXPECT_EQ(samples[0].counters.zc_transactions, zc_tx);
+  EXPECT_EQ(samples[0].counters.zc_bytes,
+            zc_tx * params.zc_transaction_bytes);
+  EXPECT_EQ(samples[0].counters.explicit_h2d_bytes, 0u);
+
+  // The copy advanced the clock but launched nothing: only h2d moved.
+  EXPECT_EQ(samples[1].counters.kernel_launches, 1u);
+  EXPECT_EQ(samples[1].counters.explicit_h2d_bytes, 1000u);
+  EXPECT_EQ(samples[1].counters.zc_transactions, zc_tx);
+
+  EXPECT_EQ(samples[2].counters.kernel_launches, 2u);
+  EXPECT_EQ(samples[2].counters.warp_tasks, 3u);
+  EXPECT_EQ(samples[2].counters.device_reads -
+                samples[1].counters.device_reads,
+            2u);
+  EXPECT_EQ(samples[2].counters.device_read_bytes -
+                samples[1].counters.device_read_bytes,
+            128u);
+
+  // Timestamps are the clock at each sampling edge, strictly increasing.
+  EXPECT_GT(samples[0].cycles, 0.0);
+  EXPECT_GT(samples[1].cycles, samples[0].cycles);
+  EXPECT_GT(samples[2].cycles, samples[1].cycles);
+  EXPECT_DOUBLE_EQ(samples[2].cycles, device.now_cycles());
+}
+
+TEST(MetricsSamplerTest, HugeIntervalSamplesNothingUntilCrossed) {
+  Device device(SmallParams());
+  device.metrics().set_interval_cycles(1e12);
+  for (int i = 0; i < 8; ++i) {
+    device.LaunchKernel(1, [](WarpCtx& w, std::size_t) {
+      w.ChargeCompute(100);
+    });
+  }
+  EXPECT_TRUE(device.metrics().samples().empty());
+  device.ChargeHostWork(2e12);  // crosses the first interval boundary
+  ASSERT_EQ(device.metrics().samples().size(), 1u);
+  EXPECT_EQ(device.metrics().samples()[0].counters.kernel_launches, 8u);
+}
+
+TEST(MetricsSamplerTest, ForceSamplePinsFinalStateAndTracksOccupancy) {
+  SimParams params = SmallParams();
+  Device device(params);
+  auto region = device.unified().Register(1 << 18);
+  device.LaunchKernel(1, [&](WarpCtx& w, std::size_t) {
+    w.UnifiedRead(region, 0, 64);
+    w.UnifiedRead(region, params.um_page_bytes, 64);
+  });
+  // Sampler is disabled (no interval), but ForceSample still records.
+  device.metrics().ForceSample(device);
+  ASSERT_EQ(device.metrics().samples().size(), 1u);
+  const MetricsSampler::Sample& s = device.metrics().samples()[0];
+  EXPECT_EQ(s.um_resident_pages, 2u);
+  EXPECT_EQ(s.um_capacity_pages, device.unified().capacity_pages());
+  EXPECT_EQ(s.counters.um_page_faults, 2u);
+  EXPECT_GT(s.device_peak_bytes, 0u);  // UM buffer reservation counts
+}
+
+TEST(MetricsSamplerTest, JsonHasEveryColumnAndMatchingRows) {
+  Device device(SmallParams());
+  device.metrics().set_interval_cycles(1);
+  device.LaunchKernel(2, [](WarpCtx& w, std::size_t) {
+    w.ChargeCompute(50);
+    w.DeviceWrite(32);
+  });
+  device.metrics().ForceSample(device);
+
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(device.metrics().ToJson(device), &doc));
+  EXPECT_EQ(doc.Find("schema")->str, "gamma.metrics.v1");
+  EXPECT_DOUBLE_EQ(doc.Find("interval_cycles")->number, 1.0);
+
+  const minijson::Value* columns = doc.Find("columns");
+  ASSERT_NE(columns, nullptr);
+  // Six gauges plus every DeviceStats counter, each exactly once.
+  ASSERT_EQ(columns->array.size(), 6 + DeviceStats::Fields().size());
+  std::set<std::string> names;
+  for (const minijson::Value& c : columns->array) names.insert(c.str);
+  EXPECT_EQ(names.size(), columns->array.size()) << "duplicate column";
+  for (const DeviceStats::Field& f : DeviceStats::Fields()) {
+    EXPECT_TRUE(names.count(f.name)) << "missing counter column " << f.name;
+  }
+  for (const char* gauge : {"cycles", "device_used_bytes", "host_bytes",
+                            "um_resident_pages", "um_capacity_pages",
+                            "device_peak_bytes"}) {
+    EXPECT_TRUE(names.count(gauge)) << "missing gauge column " << gauge;
+  }
+
+  const minijson::Value* rows = doc.Find("samples");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), device.metrics().samples().size());
+  std::size_t kernel_col = 0;
+  for (std::size_t i = 0; i < columns->array.size(); ++i) {
+    if (columns->array[i].str == "kernel_launches") kernel_col = i;
+  }
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const minijson::Value& row = rows->array[i];
+    ASSERT_EQ(row.array.size(), columns->array.size()) << "row " << i;
+    EXPECT_DOUBLE_EQ(row.array[0].number,
+                     device.metrics().samples()[i].cycles);
+    EXPECT_DOUBLE_EQ(
+        row.array[kernel_col].number,
+        static_cast<double>(
+            device.metrics().samples()[i].counters.kernel_launches));
+  }
+}
+
+}  // namespace
+}  // namespace gpm::gpusim

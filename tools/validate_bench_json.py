@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validates a gamma.bench.v1 document produced by a bench binary's
+--json=<file> mode. Exits non-zero (with a message per problem) when the
+document deviates from the schema, so CI fails loudly instead of archiving
+a broken artifact. Stdlib only; also usable locally:
+
+    ./build/bench/bench_fig10_memory --json=out.json
+    python3 tools/validate_bench_json.py out.json
+"""
+
+import json
+import sys
+
+REQUIRED_RUN_KEYS = {
+    "name": str,
+    "skipped": bool,
+    "sim_millis": (int, float),
+    "cycles": (int, float),
+    "params": dict,
+    "peak_device_bytes": (int, float),
+    "peak_host_bytes": (int, float),
+    "counters": dict,
+    "phases": list,
+}
+
+REQUIRED_PARAM_KEYS = {
+    "device_memory_bytes": (int, float),
+    "um_device_buffer_bytes": (int, float),
+    "num_warp_slots": (int, float),
+}
+
+# Every DeviceStats counter exported via Fields(); keep in sync with
+# src/gpusim/stats.cc (the C++ tests enforce the same list from the
+# other side, via DeviceStats::Fields()).
+COUNTER_KEYS = [
+    "kernel_launches",
+    "warp_tasks",
+    "um_page_faults",
+    "um_page_hits",
+    "um_migrated_bytes",
+    "um_evictions",
+    "zc_transactions",
+    "zc_bytes",
+    "device_reads",
+    "device_read_bytes",
+    "device_writes",
+    "device_write_bytes",
+    "explicit_h2d_bytes",
+    "explicit_d2h_bytes",
+    "pool_block_requests",
+    "pool_blocks_wasted",
+]
+
+
+def fail(errors, msg):
+    errors.append(msg)
+
+
+def check_typed_keys(errors, obj, spec, ctx):
+    for key, want in spec.items():
+        if key not in obj:
+            fail(errors, f"{ctx}: missing key '{key}'")
+        elif not isinstance(obj[key], want):
+            fail(errors, f"{ctx}: '{key}' has type {type(obj[key]).__name__}")
+
+
+def validate(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("schema") != "gamma.bench.v1":
+        fail(errors, f"schema is {doc.get('schema')!r}, want 'gamma.bench.v1'")
+    if not isinstance(doc.get("binary"), str) or not doc.get("binary"):
+        fail(errors, "missing or empty 'binary'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return errors + ["'runs' is missing or not an array"]
+    if not runs:
+        fail(errors, "'runs' is empty — no benchmark executed")
+    for i, run in enumerate(runs):
+        ctx = f"runs[{i}]"
+        if not isinstance(run, dict):
+            fail(errors, f"{ctx}: not an object")
+            continue
+        ctx = f"runs[{i}] ({run.get('name', '?')})"
+        check_typed_keys(errors, run, REQUIRED_RUN_KEYS, ctx)
+        if run.get("skipped") and not run.get("error"):
+            fail(errors, f"{ctx}: skipped without an 'error' message")
+        if isinstance(run.get("params"), dict):
+            check_typed_keys(errors, run["params"], REQUIRED_PARAM_KEYS,
+                             f"{ctx}.params")
+        counters = run.get("counters")
+        if isinstance(counters, dict):
+            for key in COUNTER_KEYS:
+                if key not in counters:
+                    fail(errors, f"{ctx}.counters: missing '{key}'")
+            for key in counters:
+                if key not in COUNTER_KEYS:
+                    fail(errors, f"{ctx}.counters: unknown '{key}'")
+        for j, phase in enumerate(run.get("phases") or []):
+            pctx = f"{ctx}.phases[{j}]"
+            if not isinstance(phase, dict):
+                fail(errors, f"{pctx}: not an object")
+                continue
+            check_typed_keys(
+                errors, phase,
+                {"name": str, "invocations": (int, float),
+                 "cycles": (int, float)}, pctx)
+        if not run.get("skipped") and isinstance(run.get("cycles"),
+                                                 (int, float)):
+            if run["cycles"] <= 0:
+                fail(errors, f"{ctx}: completed run with cycles <= 0")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <bench.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{argv[1]}: {e}", file=sys.stderr)
+        return 1
+    errors = validate(doc)
+    if errors:
+        for msg in errors:
+            print(f"{argv[1]}: {msg}", file=sys.stderr)
+        return 1
+    n = len(doc["runs"])
+    skipped = sum(1 for r in doc["runs"] if r.get("skipped"))
+    print(f"{argv[1]}: OK — {n} runs ({skipped} skipped), "
+          f"binary {doc['binary']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
