@@ -75,8 +75,10 @@ struct BenchRun {
   std::size_t device_memory_bytes = 0;
   std::size_t um_device_buffer_bytes = 0;
   int num_warp_slots = 0;
+  int streams = 0;
   std::size_t peak_device_bytes = 0;
   std::size_t peak_host_bytes = 0;
+  double link_busy_cycles = 0;
   gpusim::DeviceStats counters;
   std::vector<gpusim::PhaseRecord> phases;
 };
@@ -129,9 +131,11 @@ class BenchJson {
       w.Key("device_memory_bytes").Value(r.device_memory_bytes);
       w.Key("um_device_buffer_bytes").Value(r.um_device_buffer_bytes);
       w.Key("num_warp_slots").Value(r.num_warp_slots);
+      w.Key("streams").Value(r.streams);
       w.EndObject();
       w.Key("peak_device_bytes").Value(r.peak_device_bytes);
       w.Key("peak_host_bytes").Value(r.peak_host_bytes);
+      w.Key("link_busy_cycles").Value(r.link_busy_cycles);
       w.Key("counters").BeginObject();
       for (const gpusim::DeviceStats::Field& f :
            gpusim::DeviceStats::Fields()) {
@@ -209,6 +213,8 @@ inline void ReportProfile(benchmark::State& state,
     r->device_memory_bytes = device.params().device_memory_bytes;
     r->um_device_buffer_bytes = device.params().um_device_buffer_bytes;
     r->num_warp_slots = device.params().num_warp_slots;
+    r->streams = device.streams().num_streams();
+    r->link_busy_cycles = device.streams().link_busy_cycles();
     r->peak_device_bytes = device.PeakDeviceBytes();
     r->peak_host_bytes = device.host_tracker().peak_bytes();
     r->counters = device.stats().Snapshot();

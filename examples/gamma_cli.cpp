@@ -41,6 +41,8 @@ struct CliOptions {
   std::string placement = "hybrid";
   std::string strategy = "dynamic";
   bool pre_merge = true;
+  std::size_t streams = 1;
+  std::size_t extension_chunk_rows = 0;  // 0 = keep the default
   bool symmetric = false;
   std::size_t device_mb = 16;
   int warps = 64;
@@ -67,6 +69,11 @@ void Usage() {
       "  --placement P      hybrid | unified | zerocopy | device | explicit\n"
       "  --strategy S       dynamic | naive | prealloc (write strategy)\n"
       "  --no-premerge      disable Optimization 2 grouping\n"
+      "  --streams N        execution streams (default 1 = synchronous;\n"
+      "                     >= 2 double-buffers the extension pipeline and\n"
+      "                     overlaps segment sorts with transfers)\n"
+      "  --extension-chunk-rows N  embedding rows per extension kernel\n"
+      "                     (out-of-core chunk size; default 65536)\n"
       "  --symmetric        SM with automorphism symmetry breaking\n"
       "  --device-mb N      simulated device memory (default 16)\n"
       "  --warps N          resident warp slots (default 64)\n"
@@ -112,6 +119,10 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->strategy = next();
     } else if (a == "--no-premerge") {
       o->pre_merge = false;
+    } else if (a == "--streams") {
+      o->streams = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--extension-chunk-rows") {
+      o->extension_chunk_rows = std::strtoull(next(), nullptr, 10);
     } else if (a == "--symmetric") {
       o->symmetric = true;
     } else if (a == "--device-mb") {
@@ -161,6 +172,13 @@ core::GammaOptions FrameworkOptions(const CliOptions& o) {
     options.extension.write_strategy = core::WriteStrategy::kPreAlloc;
   }
   options.extension.pre_merge = o.pre_merge;
+  if (o.streams > 0) {
+    options.extension.num_streams = o.streams;
+    options.aggregation.sort.num_streams = o.streams;
+  }
+  if (o.extension_chunk_rows > 0) {
+    options.extension.chunk_rows = o.extension_chunk_rows;
+  }
   return options;
 }
 

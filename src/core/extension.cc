@@ -102,10 +102,31 @@ Result<ExtensionStats> RunExtension(
   ExtensionStats stats;
   stats.input_rows = table->num_embeddings();
 
+  // Double-buffered pipeline (num_streams >= 2): extension kernels for
+  // chunk i+1 run on a compute stream while chunk i's result flush and
+  // host-side append drain on a copy stream; events guard reuse of each
+  // buffer half. Count-only extensions move no results, so there is
+  // nothing to overlap.
+  const bool async = options.num_streams >= 2 && !options.count_only;
+  const gpusim::StreamId compute_stream =
+      async ? device->WorkerStream(0) : gpusim::kDefaultStream;
+  const gpusim::StreamId copy_stream =
+      async ? device->WorkerStream(1) : gpusim::kDefaultStream;
+  if (async) {
+    // The extension logically follows everything already submitted.
+    device->FastForwardStream(compute_stream);
+    device->FastForwardStream(copy_stream);
+  }
+  const bool double_buffer_pool =
+      async && options.write_strategy == WriteStrategy::kDynamicAlloc;
+  const std::size_t writable_pool_bytes =
+      double_buffer_pool ? options.pool_bytes / 2 : options.pool_bytes;
+
   MemoryPool pool(
       device,
       {.pool_bytes = options.pool_bytes,
-       .block_bytes = std::min(options.block_bytes, options.pool_bytes)});
+       .block_bytes = std::min(options.block_bytes, writable_pool_bytes),
+       .double_buffered = double_buffer_pool});
   const std::size_t pool_entries = options.pool_bytes / kEntryBytes;
   if (options.write_strategy == WriteStrategy::kPreAlloc &&
       worst_case_per_row > pool_entries) {
@@ -125,6 +146,11 @@ Result<ExtensionStats> RunExtension(
   std::vector<Unit> new_units;
   std::vector<RowIndex> new_parents;
   std::vector<Emit> emitted;
+
+  // Completion events for each buffer half's flush: chunk i must not start
+  // writing into half (i % 2) before chunk i-2's flush of that half has
+  // drained on the copy stream.
+  gpusim::Event flush_done[2];
 
   // Group tasks into kernels of ~chunk_rows input rows.
   std::size_t t = 0;
@@ -146,7 +172,13 @@ Result<ExtensionStats> RunExtension(
     }
     std::size_t chunk_end = t;
     std::size_t chunk_tasks = chunk_end - chunk_begin;
+    const std::size_t half = stats.chunks % 2;
     ++stats.chunks;
+    if (async && flush_done[half].valid()) {
+      // The buffer half this chunk writes into is still flushing; the
+      // compute stream stalls until the copy stream releases it.
+      device->WaitEvent(compute_stream, flush_done[half]);
+    }
 
     emitted.clear();
     std::size_t chunk_results = 0;
@@ -174,8 +206,9 @@ Result<ExtensionStats> RunExtension(
         // are collected in the same memory block").
         std::vector<MemoryPool::WarpCursor> cursors(
             std::max(1, device->params().num_warp_slots));
-        stats.kernel_cycles += device->LaunchKernel(
-            chunk_tasks, [&](gpusim::WarpCtx& w, std::size_t i) {
+        stats.kernel_cycles += device->LaunchKernelAsync(
+            compute_stream, chunk_tasks,
+            [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
               std::vector<Emit> local;
               stats.candidates += generate(w, task.lo, task.hi, &local);
@@ -186,14 +219,20 @@ Result<ExtensionStats> RunExtension(
             "extension-dynamic");
         for (auto& cursor : cursors) pool.EndWarpTask(&cursor);
         chunk_results = emitted.size();
-        pool.FlushToHost();
+        if (async) {
+          // The flush reads what the kernel wrote: order it after the
+          // compute stream's position, then drain on the copy stream.
+          device->WaitEvent(copy_stream, device->RecordEvent(compute_stream));
+        }
+        pool.FlushToHost(copy_stream);
         break;
       }
       case WriteStrategy::kNaiveTwoPass: {
         // Pass 1: count only (full generation cost, results discarded).
         std::vector<std::size_t> counts(chunk_tasks, 0);
-        stats.kernel_cycles += device->LaunchKernel(
-            chunk_tasks, [&](gpusim::WarpCtx& w, std::size_t i) {
+        stats.kernel_cycles += device->LaunchKernelAsync(
+            compute_stream, chunk_tasks,
+            [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
               std::vector<Emit> local;
               stats.candidates += generate(w, task.lo, task.hi, &local);
@@ -202,8 +241,8 @@ Result<ExtensionStats> RunExtension(
             },
             "extension-count");
         // Scan of per-task counts to assign exact write offsets.
-        stats.kernel_cycles += device->LaunchKernel(
-            1, [&](gpusim::WarpCtx& w, std::size_t) {
+        stats.kernel_cycles += device->LaunchKernelAsync(
+            compute_stream, 1, [&](gpusim::WarpCtx& w, std::size_t) {
               w.DeviceRead(chunk_tasks * sizeof(uint32_t));
               w.ChargeSimtWork(chunk_tasks);
               w.ChargeWarpScan();
@@ -211,8 +250,9 @@ Result<ExtensionStats> RunExtension(
             },
             "extension-scan");
         // Pass 2: regenerate and write at exact offsets.
-        stats.kernel_cycles += device->LaunchKernel(
-            chunk_tasks, [&](gpusim::WarpCtx& w, std::size_t i) {
+        stats.kernel_cycles += device->LaunchKernelAsync(
+            compute_stream, chunk_tasks,
+            [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
               std::vector<Emit> local;
               generate(w, task.lo, task.hi, &local);
@@ -221,12 +261,17 @@ Result<ExtensionStats> RunExtension(
             },
             "extension-write");
         chunk_results = emitted.size();
-        device->CopyDeviceToHost(chunk_results * kEntryBytes);
+        if (async) {
+          device->WaitEvent(copy_stream, device->RecordEvent(compute_stream));
+        }
+        device->CopyDeviceToHostAsync(copy_stream,
+                                      chunk_results * kEntryBytes);
         break;
       }
       case WriteStrategy::kPreAlloc: {
-        stats.kernel_cycles += device->LaunchKernel(
-            chunk_tasks, [&](gpusim::WarpCtx& w, std::size_t i) {
+        stats.kernel_cycles += device->LaunchKernelAsync(
+            compute_stream, chunk_tasks,
+            [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
               std::vector<Emit> local;
               stats.candidates += generate(w, task.lo, task.hi, &local);
@@ -241,8 +286,8 @@ Result<ExtensionStats> RunExtension(
         // the whole preallocated span — that is the cost of overestimation.
         std::size_t alloc_entries =
             std::min(pool_entries, rows_in_chunk * worst_case_per_row);
-        stats.kernel_cycles += device->LaunchKernel(
-            std::max<std::size_t>(1, chunk_tasks),
+        stats.kernel_cycles += device->LaunchKernelAsync(
+            compute_stream, std::max<std::size_t>(1, chunk_tasks),
             [&](gpusim::WarpCtx& w, std::size_t i) {
               std::size_t share = alloc_entries / std::max<std::size_t>(
                                                       1, chunk_tasks);
@@ -253,7 +298,11 @@ Result<ExtensionStats> RunExtension(
               (void)i;
             },
             "extension-combine");
-        device->CopyDeviceToHost(chunk_results * kEntryBytes);
+        if (async) {
+          device->WaitEvent(copy_stream, device->RecordEvent(compute_stream));
+        }
+        device->CopyDeviceToHostAsync(copy_stream,
+                                      chunk_results * kEntryBytes);
         break;
       }
     }
@@ -265,8 +314,16 @@ Result<ExtensionStats> RunExtension(
       new_parents.push_back(e.parent);
     }
     stats.results += chunk_results;
-    // Host-side append of the flushed results into the new column.
-    device->ChargeHostWork(static_cast<double>(chunk_results));
+    // Host-side append of the flushed results into the new column follows
+    // the flush — it lives on the copy stream, off the compute stream's
+    // critical path.
+    device->ChargeHostWork(static_cast<double>(chunk_results), copy_stream);
+    if (async) flush_done[half] = device->RecordEvent(copy_stream);
+  }
+
+  if (async) {
+    // The new column is complete only once both pipeline legs drain.
+    device->Synchronize();
   }
 
   (void)accessor;

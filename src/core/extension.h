@@ -41,6 +41,14 @@ struct ExtensionOptions {
   std::size_t rows_per_warp = 16;
   /// Embedding rows processed per kernel launch (out-of-core chunking).
   std::size_t chunk_rows = 1 << 16;
+  /// Execution streams for the chunk pipeline. 1 = the historical fully
+  /// synchronous path (bit-identical cycle totals). >= 2 enables the
+  /// double-buffered pipeline: chunk i+1's extension kernels run on a
+  /// compute stream while chunk i's column flush (and host append) drains
+  /// on a copy stream, with events guarding buffer-half reuse. Functional
+  /// results are identical either way; only the simulated timeline
+  /// changes.
+  std::size_t num_streams = 1;
   /// Device write buffer (the memory pool).
   std::size_t pool_bytes = 4ull << 20;
   /// Pool block size (paper: 8 KB).

@@ -6,10 +6,12 @@ namespace gpm::core {
 
 MemoryPool::MemoryPool(gpusim::Device* device, const Options& options)
     : device_(device), options_(options) {
+  const std::size_t writable_bytes =
+      options_.double_buffered ? options_.pool_bytes / 2 : options_.pool_bytes;
   GAMMA_CHECK(options_.block_bytes > 0 &&
-              options_.pool_bytes >= options_.block_bytes)
+              writable_bytes >= options_.block_bytes)
       << "pool must hold at least one block";
-  blocks_total_ = options_.pool_bytes / options_.block_bytes;
+  blocks_total_ = writable_bytes / options_.block_bytes;
 }
 
 Status MemoryPool::Reserve() {
@@ -34,7 +36,7 @@ void MemoryPool::GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
     device_->stats().explicit_d2h_bytes += bytes;
     warp.ChargeCompute(device_->params().pcie_latency_cycles);
     warp.ChargeBlockSync();
-    device_->AddKernelPcieBytes(bytes);
+    warp.AddPcieBytes(bytes);
     dirty_bytes_ = 0;
     blocks_handed_out_ = 0;
     ++mid_kernel_flushes_;
@@ -69,9 +71,9 @@ void MemoryPool::EndWarpTask(WarpCursor* cursor) {
   cursor->owns_block = false;
 }
 
-std::size_t MemoryPool::FlushToHost() {
+std::size_t MemoryPool::FlushToHost(gpusim::StreamId stream) {
   std::size_t bytes = dirty_bytes_;
-  if (bytes > 0) device_->CopyDeviceToHost(bytes);
+  if (bytes > 0) device_->CopyDeviceToHostAsync(stream, bytes);
   dirty_bytes_ = 0;
   blocks_handed_out_ = 0;
   return bytes;

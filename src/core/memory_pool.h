@@ -22,6 +22,11 @@ class MemoryPool {
   struct Options {
     std::size_t pool_bytes = 4ull << 20;  ///< total device buffer
     std::size_t block_bytes = 8192;       ///< paper's 8 KB blocks
+    /// Double-buffered mode for the async extension pipeline: only half of
+    /// the reserved pool is writable at a time — the other half belongs to
+    /// the chunk whose flush is still in flight on the copy stream — so
+    /// block capacity (and hence mid-kernel flush pressure) is halved.
+    bool double_buffered = false;
   };
 
   MemoryPool(gpusim::Device* device, const Options& options);
@@ -48,8 +53,9 @@ class MemoryPool {
   void EndWarpTask(WarpCursor* cursor);
 
   /// Drains all dirty blocks to host memory after a kernel; returns the
-  /// flushed byte count. Charged as an explicit D2H copy.
-  std::size_t FlushToHost();
+  /// flushed byte count. Charged as an explicit D2H copy ordered on
+  /// `stream` (default: the synchronous timeline).
+  std::size_t FlushToHost(gpusim::StreamId stream = gpusim::kDefaultStream);
 
   std::size_t blocks_total() const { return blocks_total_; }
   std::size_t mid_kernel_flushes() const { return mid_kernel_flushes_; }

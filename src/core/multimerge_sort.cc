@@ -17,16 +17,18 @@ double Log2Of(std::size_t n) {
   return std::log2(static_cast<double>(n) + 2.0);
 }
 
-// In-core sort of one segment: H2D, bitonic-style kernel, D2H.
-double ChargeSegmentSort(gpusim::Device* device, std::size_t elems) {
+// In-core sort of one segment: H2D, bitonic-style kernel, D2H, all ordered
+// on `stream` (default stream = the historical synchronous path).
+double ChargeSegmentSort(gpusim::Device* device, std::size_t elems,
+                         gpusim::StreamId stream = gpusim::kDefaultStream) {
   if (elems == 0) return 0;
   double cycles = 0;
-  cycles += device->CopyHostToDevice(elems * kKeyBytes);
+  cycles += device->CopyHostToDeviceAsync(stream, elems * kKeyBytes);
   const std::size_t kElemsPerTask = 4096;
   std::size_t tasks = (elems + kElemsPerTask - 1) / kElemsPerTask;
   double log_n = Log2Of(elems);
-  cycles += device->LaunchKernel(tasks, [&](gpusim::WarpCtx& w,
-                                            std::size_t t) {
+  cycles += device->LaunchKernelAsync(stream, tasks,
+                                      [&](gpusim::WarpCtx& w, std::size_t t) {
     std::size_t lo = t * kElemsPerTask;
     std::size_t n = std::min(elems, lo + kElemsPerTask) - lo;
     w.DeviceRead(n * kKeyBytes);
@@ -35,7 +37,7 @@ double ChargeSegmentSort(gpusim::Device* device, std::size_t elems) {
     w.DeviceWrite(n * kKeyBytes);
   },
   "sort-segment");
-  cycles += device->CopyDeviceToHost(elems * kKeyBytes);
+  cycles += device->CopyDeviceToHostAsync(stream, elems * kKeyBytes);
   return cycles;
 }
 
@@ -249,13 +251,35 @@ Result<SortStats> SortKeys(gpusim::Device* device,
     return stats;
   }
 
-  // Segment phase shared by the multi-merge methods.
+  // Segment phase shared by the multi-merge methods. With num_streams >= 2
+  // the in-core sorts round-robin over worker streams: segment i+1's H2D
+  // upload queues behind (rather than after the completion of) segment i's
+  // write-back on the shared link, and the sort kernels themselves overlap
+  // freely. The phase is then accounted by its joined elapsed time.
+  const std::size_t sort_streams =
+      std::max<std::size_t>(1, options.num_streams);
+  const bool overlap_segments = sort_streams >= 2 && n > seg_elems;
+  const double segment_phase_start =
+      overlap_segments ? device->Synchronize() : 0.0;
   std::vector<std::vector<uint64_t>> segments;
+  std::size_t seg_idx = 0;
   for (std::size_t lo = 0; lo < n; lo += seg_elems) {
     std::size_t hi = std::min(n, lo + seg_elems);
     segments.emplace_back(keys->begin() + lo, keys->begin() + hi);
     std::sort(segments.back().begin(), segments.back().end());
-    stats.cycles += ChargeSegmentSort(device, hi - lo);
+    if (overlap_segments) {
+      gpusim::StreamId stream =
+          device->WorkerStream(static_cast<int>(seg_idx % sort_streams));
+      ChargeSegmentSort(device, hi - lo, stream);
+    } else {
+      stats.cycles += ChargeSegmentSort(device, hi - lo);
+    }
+    ++seg_idx;
+  }
+  if (overlap_segments) {
+    // Checkpoint collection (and the merge kernels after it) read every
+    // sorted segment: join all streams before leaving the phase.
+    stats.cycles += device->Synchronize() - segment_phase_start;
   }
   stats.segments = segments.size();
   if (segments.size() == 1) {

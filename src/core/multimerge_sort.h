@@ -38,6 +38,13 @@ struct SortOptions {
   /// In-core frameworks (Pangolin) can only sort what fits on the device:
   /// fail with kDeviceOutOfMemory instead of segmenting.
   bool in_core_only = false;
+  /// Execution streams for the segment phase. 1 = the historical
+  /// synchronous path (bit-identical cycle totals). >= 2 round-robins the
+  /// in-core segment sorts over worker streams, so segment i+1's H2D
+  /// upload contends on the PCIe link with (instead of waiting for)
+  /// segment i's sort kernel and write-back; `cycles` then accounts the
+  /// phase's joined elapsed time rather than the serial per-op sum.
+  std::size_t num_streams = 1;
 };
 
 struct SortStats {

@@ -23,22 +23,44 @@ Device::Device(SimParams params)
   }
 }
 
-double Device::CopyHostToDevice(std::size_t bytes) {
-  stats_.explicit_h2d_bytes += bytes;
-  double cycles = params_.pcie_latency_cycles +
-                  static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
-  clock_cycles_ += cycles;
-  metrics_.MaybeSample(*this);
-  return cycles;
+StreamId Device::WorkerStream(int i) {
+  GAMMA_CHECK(i >= 0) << "negative worker stream index";
+  while (static_cast<int>(worker_streams_.size()) <= i) {
+    worker_streams_.push_back(streams_.CreateStream());
+  }
+  return worker_streams_[static_cast<std::size_t>(i)];
 }
 
-double Device::CopyDeviceToHost(std::size_t bytes) {
-  stats_.explicit_d2h_bytes += bytes;
-  double cycles = params_.pcie_latency_cycles +
-                  static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
-  clock_cycles_ += cycles;
+double Device::CopyHostToDeviceAsync(StreamId stream, std::size_t bytes) {
+  stats_.explicit_h2d_bytes += bytes;
+  const double start = streams_.cycles(stream);
+  const double ready = start + params_.pcie_latency_cycles;
+  const double end = streams_.AcquireLink(
+      ready, static_cast<double>(bytes) / params_.pcie_bytes_per_cycle);
+  streams_.set_cycles(stream, end);
+  clock_cycles_ = streams_.now_cycles();
+  if (trace_recorder_.enabled()) {
+    trace_recorder_.RecordSpan(TraceRecorder::Kind::kCopy, "copy-h2d", start,
+                               end, stream);
+  }
   metrics_.MaybeSample(*this);
-  return cycles;
+  return end - start;
+}
+
+double Device::CopyDeviceToHostAsync(StreamId stream, std::size_t bytes) {
+  stats_.explicit_d2h_bytes += bytes;
+  const double start = streams_.cycles(stream);
+  const double ready = start + params_.pcie_latency_cycles;
+  const double end = streams_.AcquireLink(
+      ready, static_cast<double>(bytes) / params_.pcie_bytes_per_cycle);
+  streams_.set_cycles(stream, end);
+  clock_cycles_ = streams_.now_cycles();
+  if (trace_recorder_.enabled()) {
+    trace_recorder_.RecordSpan(TraceRecorder::Kind::kCopy, "copy-d2h", start,
+                               end, stream);
+  }
+  metrics_.MaybeSample(*this);
+  return end - start;
 }
 
 }  // namespace gpm::gpusim

@@ -14,6 +14,7 @@
 #include "gpusim/profile.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/stats.h"
+#include "gpusim/stream.h"
 #include "gpusim/trace.h"
 #include "gpusim/unified_memory.h"
 #include "gpusim/warp.h"
@@ -24,12 +25,19 @@ namespace gpm::gpusim {
 ///
 /// A Device owns: a capacity-enforcing device-memory allocator, the unified
 /// memory subsystem (page buffer carved out of device memory at
-/// construction), hardware counters, a host-memory footprint tracker, and a
-/// simulated clock. Kernels execute warp tasks functionally on the host
-/// while accumulating simulated cycles; kernel latency is the makespan of
-/// warp tasks over `num_warp_slots` concurrent slots, overlapped with the
-/// PCIe traffic the kernel generated (threads waiting on host memory are
-/// switched out, §II-B).
+/// construction), hardware counters, a host-memory footprint tracker, a set
+/// of execution streams sharing one PCIe link, and a simulated clock that is
+/// the join of all stream clocks. Kernels execute warp tasks functionally on
+/// the host while accumulating simulated cycles; kernel latency is the
+/// makespan of warp tasks over `num_warp_slots` concurrent slots, overlapped
+/// with the PCIe traffic the kernel generated (threads waiting on host
+/// memory are switched out, §II-B).
+///
+/// The synchronous APIs (`LaunchKernel`, `CopyHostToDevice`, ...) are thin
+/// wrappers over the default stream and behave exactly like the historical
+/// single-clock model; the `*Async` APIs schedule on an explicit stream so
+/// engine code can overlap compute with transfers (see StreamSet for the
+/// contention rules).
 class Device {
  public:
   explicit Device(SimParams params = SimParams());
@@ -53,7 +61,7 @@ class Device {
   RunProfile& profile() { return profile_; }
   const RunProfile& profile() const { return profile_; }
 
-  /// Timeline recorder (kernel/phase/warp-slot spans, UM page events).
+  /// Timeline recorder (kernel/copy/phase/warp-slot spans, UM page events).
   /// Disabled by default; see TraceRecorder for the Chrome-trace export.
   TraceRecorder& trace() { return trace_recorder_; }
   const TraceRecorder& trace() const { return trace_recorder_; }
@@ -63,7 +71,46 @@ class Device {
   MetricsSampler& metrics() { return metrics_; }
   const MetricsSampler& metrics() const { return metrics_; }
 
-  /// Total simulated time since construction (cycles / seconds / ms).
+  // -- Streams and events -----------------------------------------------------
+
+  /// The stream timelines and the shared PCIe link.
+  const StreamSet& streams() const { return streams_; }
+
+  /// Creates a new stream whose clock starts at the current join point.
+  StreamId CreateStream() { return streams_.CreateStream(); }
+
+  /// Persistent worker stream `i` (0-based), created on first use. Engine
+  /// primitives reuse these across calls instead of growing the stream set
+  /// on every invocation.
+  StreamId WorkerStream(int i);
+
+  /// When the stream's last command finished (its clock).
+  double stream_cycles(StreamId stream) const {
+    return streams_.cycles(stream);
+  }
+
+  /// Captures `stream`'s current position as a joinable timestamp.
+  Event RecordEvent(StreamId stream) const { return streams_.Record(stream); }
+
+  /// Stalls `stream` until `event` (no-op for never-recorded events).
+  void WaitEvent(StreamId stream, const Event& event) {
+    streams_.Wait(stream, event);
+    clock_cycles_ = streams_.now_cycles();
+  }
+
+  /// Joins every stream (cudaDeviceSynchronize); returns the join point.
+  double Synchronize() {
+    clock_cycles_ = streams_.Synchronize();
+    metrics_.MaybeSample(*this);
+    return clock_cycles_;
+  }
+
+  /// Advances an idle stream to "now" so its next command follows
+  /// everything already submitted (start of an async phase).
+  void FastForwardStream(StreamId stream) { streams_.FastForward(stream); }
+
+  /// Total simulated time since construction (cycles / seconds / ms): the
+  /// join of all stream clocks.
   double now_cycles() const { return clock_cycles_; }
   double ElapsedSeconds() const {
     return params_.CyclesToSeconds(clock_cycles_);
@@ -71,22 +118,47 @@ class Device {
   double ElapsedMillis() const {
     return params_.CyclesToMillis(clock_cycles_);
   }
-  void ResetClock() { clock_cycles_ = 0; }
+
+  /// Rewinds the whole timeline to zero: every stream clock, the PCIe-link
+  /// state, and all time-derived observability state (kernel records,
+  /// timeline events, metrics samples) reset together. A partial rewind —
+  /// the old `clock_cycles_ = 0` — would leave recorder/sampler state
+  /// stamped with timestamps from the abandoned timeline and let them emit
+  /// non-monotonic series afterwards.
+  void ResetClock() {
+    streams_.Reset();
+    clock_cycles_ = 0;
+    trace_recorder_.Clear();
+    metrics_.Clear();
+    ClearTrace();
+  }
 
   /// Adds host-side (CPU) work to the simulated timeline, e.g. flushing and
-  /// reorganizing buffers between kernels.
-  void ChargeHostWork(double cycles) {
-    clock_cycles_ += cycles;
+  /// reorganizing buffers between kernels. `stream` orders the work against
+  /// that stream's commands (default: the synchronous timeline).
+  void ChargeHostWork(double cycles, StreamId stream = kDefaultStream) {
+    streams_.set_cycles(stream, streams_.cycles(stream) + cycles);
+    clock_cycles_ = streams_.now_cycles();
     metrics_.MaybeSample(*this);
   }
 
-  /// Explicit cudaMemcpy-style transfer; advances the clock and returns the
-  /// cycles spent. Used by baselines with explicit data movement.
-  double CopyHostToDevice(std::size_t bytes);
-  double CopyDeviceToHost(std::size_t bytes);
+  /// Explicit cudaMemcpy-style transfer on the default stream; advances the
+  /// clock and returns the cycles spent. Used by baselines with explicit
+  /// data movement.
+  double CopyHostToDevice(std::size_t bytes) {
+    return CopyHostToDeviceAsync(kDefaultStream, bytes);
+  }
+  double CopyDeviceToHost(std::size_t bytes) {
+    return CopyDeviceToHostAsync(kDefaultStream, bytes);
+  }
 
-  /// Called by memory subsystems during a kernel to account link traffic.
-  void AddKernelPcieBytes(std::size_t bytes) { kernel_pcie_bytes_ += bytes; }
+  /// Explicit transfer ordered on `stream`. The transfer occupies the
+  /// shared PCIe link: it starts once the stream reaches it (plus link
+  /// latency) *and* the link is free, so concurrent streams contend instead
+  /// of double-counting bandwidth. Returns the cycles the stream advanced
+  /// (including any stall waiting for the link).
+  double CopyHostToDeviceAsync(StreamId stream, std::size_t bytes);
+  double CopyDeviceToHostAsync(StreamId stream, std::size_t bytes);
 
   /// Peak device-memory usage including the UM page buffer reservation.
   std::size_t PeakDeviceBytes() const { return memory_.peak_used_bytes(); }
@@ -106,9 +178,14 @@ class Device {
   void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
   const std::vector<KernelRecord>& kernel_trace() const { return trace_; }
   uint64_t dropped_kernel_records() const { return dropped_kernel_records_; }
+
+  /// Clears every recorded trace artifact: the kernel-record list and the
+  /// timeline recorder's events together, so the two views of the same
+  /// timeline cannot diverge after a partial clear.
   void ClearTrace() {
     trace_.clear();
     dropped_kernel_records_ = 0;
+    trace_recorder_.Clear();
   }
 
   /// Caps both the kernel-record list and the timeline recorder's event
@@ -119,16 +196,28 @@ class Device {
   }
   std::size_t trace_capacity() const { return trace_capacity_; }
 
-  /// Runs `num_tasks` warp tasks through `fn(WarpCtx&, task_id)`.
-  /// Returns the kernel's simulated cycles (also added to the clock).
-  /// `name` labels the kernel in the trace.
+  /// Runs `num_tasks` warp tasks through `fn(WarpCtx&, task_id)` on the
+  /// default stream. Returns the kernel's simulated cycles (also added to
+  /// the clock). `name` labels the kernel in the trace.
   template <typename Fn>
   double LaunchKernel(std::size_t num_tasks, Fn&& fn,
                       const char* name = "kernel") {
+    return LaunchKernelAsync(kDefaultStream, num_tasks,
+                             std::forward<Fn>(fn), name);
+  }
+
+  /// Runs a kernel ordered on `stream`: it starts at the stream's clock and
+  /// advances only that stream. The kernel's folded PCIe traffic (zero-copy
+  /// transactions, UM migrations, mid-kernel pool drains — summed per
+  /// launch from each warp task) reserves a window on the shared link, so
+  /// transfers on other streams contend with it; the kernel completes when
+  /// both its compute makespan and its link window have finished.
+  template <typename Fn>
+  double LaunchKernelAsync(StreamId stream, std::size_t num_tasks, Fn&& fn,
+                           const char* name = "kernel") {
     ++stats_.kernel_launches;
     stats_.warp_tasks += num_tasks;
-    kernel_pcie_bytes_ = 0;
-    const double start_cycles = clock_cycles_;
+    const double start_cycles = streams_.cycles(stream);
 
     const int slots = std::max(1, params_.num_warp_slots);
     // Min-heap of (finish time, slot) pairs: greedy list scheduling gives
@@ -140,27 +229,47 @@ class Device {
         finish;
     for (int i = 0; i < slots; ++i) finish.push({0.0, i});
     const bool record_slots = trace_recorder_.enabled();
-    std::vector<double> slot_busy;
-    if (record_slots) slot_busy.assign(static_cast<std::size_t>(slots), 0.0);
+    // Per-slot busy intervals, coalesced: adjacent tasks merge into one
+    // run, but a gap (a slot idle between tasks) starts a new run, so the
+    // exported occupancy never paints idle time as busy.
+    std::vector<std::vector<std::pair<double, double>>> slot_runs;
+    if (record_slots) slot_runs.resize(static_cast<std::size_t>(slots));
+    std::size_t launch_pcie_bytes = 0;
     for (std::size_t t = 0; t < num_tasks; ++t) {
       WarpCtx warp(this, t);
       fn(warp, t);
+      launch_pcie_bytes += warp.pcie_bytes();
       auto [start, slot] = finish.top();
       finish.pop();
       double end = start + warp.cycles();
       finish.push({end, slot});
-      if (record_slots) slot_busy[static_cast<std::size_t>(slot)] = end;
+      if (record_slots && end > start) {
+        auto& runs = slot_runs[static_cast<std::size_t>(slot)];
+        if (!runs.empty() && runs.back().second == start) {
+          runs.back().second = end;
+        } else {
+          runs.push_back({start, end});
+        }
+      }
     }
     double makespan = 0.0;
     while (!finish.empty()) {
       makespan = finish.top().first;
       finish.pop();
     }
-    double pcie_cycles =
-        static_cast<double>(kernel_pcie_bytes_) / params_.pcie_bytes_per_cycle;
-    double kernel_cycles =
-        params_.kernel_launch_cycles + std::max(makespan, pcie_cycles);
-    clock_cycles_ += kernel_cycles;
+    const double work_start = start_cycles + params_.kernel_launch_cycles;
+    double pcie_cycles = static_cast<double>(launch_pcie_bytes) /
+                         params_.pcie_bytes_per_cycle;
+    double end_cycles = work_start + makespan;
+    if (pcie_cycles > 0) {
+      // The kernel's link traffic starts once the kernel does and must
+      // fit behind transfers already on the link.
+      double pcie_end = streams_.AcquireLink(work_start, pcie_cycles);
+      end_cycles = std::max(end_cycles, pcie_end);
+    }
+    streams_.set_cycles(stream, end_cycles);
+    clock_cycles_ = streams_.now_cycles();
+    const double kernel_cycles = end_cycles - start_cycles;
     if (trace_enabled_) {
       if (trace_.size() < trace_capacity_) {
         trace_.push_back(
@@ -169,17 +278,16 @@ class Device {
         ++dropped_kernel_records_;
       }
     }
-    if (trace_recorder_.enabled()) {
+    if (record_slots) {
       trace_recorder_.RecordSpan(TraceRecorder::Kind::kKernel, name,
-                                 start_cycles, clock_cycles_);
-      // Slot busy intervals start after the launch overhead and end at the
-      // slot's last task; they always nest inside the kernel span.
-      const double work_start = start_cycles + params_.kernel_launch_cycles;
+                                 start_cycles, end_cycles, stream);
+      // Slot busy runs start after the launch overhead; they always nest
+      // inside the kernel span.
       for (int slot = 0; slot < slots; ++slot) {
-        double busy = slot_busy[static_cast<std::size_t>(slot)];
-        if (busy <= 0.0) continue;
-        trace_recorder_.RecordSpan(TraceRecorder::Kind::kWarpSlot, name,
-                                   work_start, work_start + busy, slot);
+        for (const auto& [lo, hi] : slot_runs[static_cast<std::size_t>(slot)]) {
+          trace_recorder_.RecordSpan(TraceRecorder::Kind::kWarpSlot, name,
+                                     work_start + lo, work_start + hi, slot);
+        }
       }
     }
     metrics_.MaybeSample(*this);
@@ -196,8 +304,11 @@ class Device {
   TraceRecorder trace_recorder_;
   MetricsSampler metrics_;
   DeviceBuffer um_buffer_reservation_;
+  StreamSet streams_;
+  std::vector<StreamId> worker_streams_;
+  // Cached join of all stream clocks; UnifiedMemory::BindTrace holds a
+  // pointer to it for stamping page events.
   double clock_cycles_ = 0;
-  std::size_t kernel_pcie_bytes_ = 0;
   bool trace_enabled_ = false;
   std::size_t trace_capacity_ = TraceRecorder::kDefaultCapacity;
   uint64_t dropped_kernel_records_ = 0;

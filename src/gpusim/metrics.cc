@@ -11,8 +11,9 @@ namespace {
 
 // Gauge columns preceding the DeviceStats counters in every sample row.
 constexpr const char* kGaugeColumns[] = {
-    "cycles",           "device_used_bytes", "device_peak_bytes",
+    "cycles",            "device_used_bytes", "device_peak_bytes",
     "um_resident_pages", "um_capacity_pages", "host_bytes",
+    "streams",           "link_busy_cycles",
 };
 
 }  // namespace
@@ -39,6 +40,8 @@ void MetricsSampler::Take(const Device& device) {
   s.um_resident_pages = device.unified().resident_pages();
   s.um_capacity_pages = device.unified().capacity_pages();
   s.host_bytes = device.host_tracker().current_bytes();
+  s.streams = device.streams().num_streams();
+  s.link_busy_cycles = device.streams().link_busy_cycles();
   s.counters = device.stats().Snapshot();
   samples_.push_back(std::move(s));
 }
@@ -65,6 +68,8 @@ std::string MetricsSampler::ToJson(const Device& device) const {
     w.Value(s.um_resident_pages);
     w.Value(s.um_capacity_pages);
     w.Value(s.host_bytes);
+    w.Value(s.streams);
+    w.Value(s.link_busy_cycles);
     for (const DeviceStats::Field& f : DeviceStats::Fields()) {
       w.Value(s.counters.*f.member);
     }

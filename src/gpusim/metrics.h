@@ -37,6 +37,8 @@ class MetricsSampler {
     std::size_t um_resident_pages = 0;
     std::size_t um_capacity_pages = 0;
     std::size_t host_bytes = 0;
+    int streams = 0;                ///< stream count at the sample point
+    double link_busy_cycles = 0;    ///< cumulative PCIe-link busy time
     DeviceStats counters;
   };
 

@@ -1,0 +1,60 @@
+#include "gpusim/stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gpm::gpusim {
+
+StreamId StreamSet::CreateStream() {
+  cycles_.push_back(now_cycles());
+  return static_cast<StreamId>(cycles_.size() - 1);
+}
+
+double StreamSet::cycles(StreamId stream) const {
+  GAMMA_CHECK(valid(stream)) << "unknown stream " << stream;
+  return cycles_[static_cast<std::size_t>(stream)];
+}
+
+void StreamSet::set_cycles(StreamId stream, double cycles) {
+  GAMMA_CHECK(valid(stream)) << "unknown stream " << stream;
+  cycles_[static_cast<std::size_t>(stream)] = cycles;
+}
+
+double StreamSet::now_cycles() const {
+  return *std::max_element(cycles_.begin(), cycles_.end());
+}
+
+double StreamSet::AcquireLink(double ready_cycles, double link_cycles) {
+  double start = std::max(ready_cycles, link_free_cycles_);
+  link_free_cycles_ = start + link_cycles;
+  link_busy_cycles_ += link_cycles;
+  return link_free_cycles_;
+}
+
+void StreamSet::Wait(StreamId stream, const Event& event) {
+  if (!event.valid()) return;
+  std::size_t i = static_cast<std::size_t>(stream);
+  GAMMA_CHECK(valid(stream)) << "unknown stream " << stream;
+  cycles_[i] = std::max(cycles_[i], event.cycles());
+}
+
+double StreamSet::Synchronize() {
+  double join = now_cycles();
+  std::fill(cycles_.begin(), cycles_.end(), join);
+  return join;
+}
+
+void StreamSet::FastForward(StreamId stream) {
+  std::size_t i = static_cast<std::size_t>(stream);
+  GAMMA_CHECK(valid(stream)) << "unknown stream " << stream;
+  cycles_[i] = std::max(cycles_[i], now_cycles());
+}
+
+void StreamSet::Reset() {
+  std::fill(cycles_.begin(), cycles_.end(), 0.0);
+  link_free_cycles_ = 0;
+  link_busy_cycles_ = 0;
+}
+
+}  // namespace gpm::gpusim

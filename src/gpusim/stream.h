@@ -1,0 +1,116 @@
+#ifndef GAMMA_GPUSIM_STREAM_H_
+#define GAMMA_GPUSIM_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gpm::gpusim {
+
+/// Identifies one stream of a StreamSet. Stream 0 (the default stream)
+/// always exists; synchronous Device APIs are thin wrappers over it.
+using StreamId = int;
+constexpr StreamId kDefaultStream = 0;
+
+/// A joinable timestamp on a stream's timeline (CUDA-event style).
+///
+/// `Record` captures the recording stream's current clock; `Wait` makes
+/// another stream's clock at least that value. A default-constructed event
+/// was never recorded and waiting on it is a no-op (CUDA semantics: an
+/// unrecorded event is considered complete).
+class Event {
+ public:
+  Event() = default;
+
+  bool valid() const { return valid_; }
+  double cycles() const { return cycles_; }
+
+ private:
+  friend class StreamSet;
+  explicit Event(double cycles) : cycles_(cycles), valid_(true) {}
+
+  double cycles_ = 0;
+  bool valid_ = false;
+};
+
+/// Per-stream clocks plus the shared PCIe link of the simulated device.
+///
+/// Each stream is an ordered command timeline: work submitted to stream s
+/// starts no earlier than the stream's clock and advances only that clock.
+/// `now_cycles()` — the device-wide notion of "now" — is the *join* (max)
+/// of all stream clocks: simulated wall-clock time is over only when every
+/// stream has drained.
+///
+/// The PCIe link is a single shared resource. Every transfer (explicit
+/// copy or a kernel's folded zero-copy/UM traffic) reserves an exclusive
+/// busy window on the link via `AcquireLink`; concurrent streams therefore
+/// *contend* for link bandwidth — their transfers serialize — instead of
+/// each stream double-counting the full link for itself. Windows are
+/// granted in submission order (the simulation is constructed in program
+/// order), which is deterministic: the same command sequence and stream
+/// assignment always yields identical cycle totals.
+///
+/// With only the default stream in use, the link is always free by the
+/// time a command needs it (every previous window ended at or before the
+/// stream clock), so the async formulas reduce exactly to the original
+/// synchronous single-clock model — sync wrappers stay bit-identical.
+class StreamSet {
+ public:
+  StreamSet() : cycles_(1, 0.0) {}
+
+  StreamSet(const StreamSet&) = delete;
+  StreamSet& operator=(const StreamSet&) = delete;
+
+  int num_streams() const { return static_cast<int>(cycles_.size()); }
+
+  /// Creates a stream whose clock starts at the current join point: new
+  /// streams begin "now", never in the simulated past.
+  StreamId CreateStream();
+
+  bool valid(StreamId stream) const {
+    return stream >= 0 && stream < num_streams();
+  }
+
+  /// The stream's clock: when its last submitted command finishes.
+  double cycles(StreamId stream) const;
+  void set_cycles(StreamId stream, double cycles);
+
+  /// Device-wide "now": the join (max) of all stream clocks.
+  double now_cycles() const;
+
+  /// Reserves an exclusive link window of `link_cycles`, starting no
+  /// earlier than `ready_cycles` and no earlier than the previous window's
+  /// end. Returns when the window ends.
+  double AcquireLink(double ready_cycles, double link_cycles);
+
+  /// Total cycles the link has spent busy (occupancy gauge).
+  double link_busy_cycles() const { return link_busy_cycles_; }
+
+  /// Captures the stream's current clock as a joinable event.
+  Event Record(StreamId stream) const { return Event(cycles(stream)); }
+
+  /// Stalls `stream` until `event`: its clock becomes at least the event's
+  /// timestamp. No-op for never-recorded events.
+  void Wait(StreamId stream, const Event& event);
+
+  /// Joins every stream to the common completion point (all clocks become
+  /// `now_cycles()`); returns it. cudaDeviceSynchronize analogue.
+  double Synchronize();
+
+  /// Advances `stream` to the current join point if it lags behind; used
+  /// when an idle stream picks up work that logically follows everything
+  /// already submitted.
+  void FastForward(StreamId stream);
+
+  /// Rewinds the whole timeline: every stream clock and the link state go
+  /// back to zero. Streams themselves survive (ids stay valid).
+  void Reset();
+
+ private:
+  std::vector<double> cycles_;
+  double link_free_cycles_ = 0;
+  double link_busy_cycles_ = 0;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_STREAM_H_

@@ -14,14 +14,23 @@ namespace {
 
 // Track layout of the exported trace. Device-level tracks share one
 // "process"; warp slots get their own so Perfetto collapses them together.
+// Kernel/copy spans from the default stream keep the classic "kernels"
+// thread; each additional stream renders as its own thread starting at
+// kStreamTidBase + stream, so overlapped streams appear as parallel lanes.
 constexpr int kDevicePid = 1;
 constexpr int kKernelTid = 1;
 constexpr int kPhaseTid = 2;
 constexpr int kUmTid = 3;
+constexpr int kStreamTidBase = 3;  // stream s >= 1 -> tid kStreamTidBase + s
 constexpr int kWarpSlotPid = 2;
+
+int StreamTid(int stream) {
+  return stream == 0 ? kKernelTid : kStreamTidBase + stream;
+}
 
 bool IsSpan(TraceRecorder::Kind kind) {
   return kind == TraceRecorder::Kind::kKernel ||
+         kind == TraceRecorder::Kind::kCopy ||
          kind == TraceRecorder::Kind::kPhase ||
          kind == TraceRecorder::Kind::kWarpSlot;
 }
@@ -30,6 +39,8 @@ const char* Category(TraceRecorder::Kind kind) {
   switch (kind) {
     case TraceRecorder::Kind::kKernel:
       return "kernel";
+    case TraceRecorder::Kind::kCopy:
+      return "copy";
     case TraceRecorder::Kind::kPhase:
       return "phase";
     case TraceRecorder::Kind::kWarpSlot:
@@ -65,6 +76,8 @@ const char* TraceKindName(TraceRecorder::Kind kind) {
   switch (kind) {
     case TraceRecorder::Kind::kKernel:
       return "kernel";
+    case TraceRecorder::Kind::kCopy:
+      return "copy";
     case TraceRecorder::Kind::kPhase:
       return "phase";
     case TraceRecorder::Kind::kWarpSlot:
@@ -112,11 +125,14 @@ std::string TraceRecorder::ToChromeTraceJson(const SimParams& params) const {
   // Bucket events per (pid, tid) track, splitting spans into B/E pairs.
   std::map<std::pair<int, int>, std::vector<EmitEvent>> tracks;
   std::set<int> slot_tids;
+  std::set<int> stream_tids;  // non-default streams needing a thread name
   for (const Event& ev : events_) {
     std::pair<int, int> track;
     switch (ev.kind) {
       case Kind::kKernel:
-        track = {kDevicePid, kKernelTid};
+      case Kind::kCopy:
+        track = {kDevicePid, StreamTid(ev.track)};
+        if (ev.track != 0) stream_tids.insert(ev.track);
         break;
       case Kind::kPhase:
         track = {kDevicePid, kPhaseTid};
@@ -167,6 +183,10 @@ std::string TraceRecorder::ToChromeTraceJson(const SimParams& params) const {
   meta("thread_name", kDevicePid, kKernelTid, "kernels");
   meta("thread_name", kDevicePid, kPhaseTid, "phases");
   meta("thread_name", kDevicePid, kUmTid, "um-pages");
+  for (int stream : stream_tids) {
+    meta("thread_name", kDevicePid, StreamTid(stream),
+         "stream " + std::to_string(stream));
+  }
   if (!slot_tids.empty()) {
     meta("process_name", kWarpSlotPid, 0, "warp-slots");
     for (int slot : slot_tids) {

@@ -35,6 +35,7 @@ class TraceRecorder {
 
   enum class Kind : uint8_t {
     kKernel,      // one kernel launch (span)
+    kCopy,        // one explicit PCIe transfer (span)
     kPhase,       // one PhaseScope (span)
     kWarpSlot,    // one slot's busy interval inside a kernel (span)
     kUmFault,     // page fault + migration (instant, region/page)
@@ -44,8 +45,10 @@ class TraceRecorder {
   };
 
   /// One recorded event. Spans use [begin_cycles, end_cycles]; instants
-  /// have begin == end. `track` is the warp-slot index for kWarpSlot;
-  /// `region`/`page` identify the page for UM events.
+  /// have begin == end. `track` is the warp-slot index for kWarpSlot and
+  /// the stream id for kKernel/kCopy (each stream renders as its own
+  /// thread in the Chrome export); `region`/`page` identify the page for
+  /// UM events.
   struct Event {
     Kind kind;
     std::string name;
@@ -88,8 +91,11 @@ class TraceRecorder {
   /// Renders the buffer as a Chrome trace-event JSON document
   /// (`gamma.trace.v1`). Timestamps convert from cycles to microseconds
   /// via `params`; `dropped_events` and the capacity are reported in
-  /// `otherData`. Kernel and phase spans are emitted as balanced "B"/"E"
-  /// pairs per track, UM page events as instants with region/page args.
+  /// `otherData`. Kernel, copy, and phase spans are emitted as balanced
+  /// "B"/"E" pairs per track, UM page events as instants with region/page
+  /// args. Kernel/copy spans from the default stream land on the classic
+  /// "kernels" track; each further stream gets its own "stream N" track,
+  /// so overlapped work renders as parallel lanes in Perfetto.
   std::string ToChromeTraceJson(const SimParams& params) const;
 
  private:

@@ -65,7 +65,7 @@ void WarpCtx::ZeroCopyRead(std::size_t bytes) {
   // First transaction pays full link latency; the rest pipeline.
   cycles_ += p.pcie_latency_cycles +
              static_cast<double>(ntx - 1) * p.zc_pipelined_cycles;
-  device_->AddKernelPcieBytes(ntx * p.zc_transaction_bytes);
+  AddPcieBytes(ntx * p.zc_transaction_bytes);
 }
 
 void WarpCtx::ZeroCopyWrite(std::size_t bytes) {
@@ -77,7 +77,7 @@ void WarpCtx::UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
                           std::size_t bytes) {
   AccessCharge charge = device_->unified().Access(region, offset, bytes);
   cycles_ += charge.cycles;
-  if (charge.pcie_bytes > 0) device_->AddKernelPcieBytes(charge.pcie_bytes);
+  if (charge.pcie_bytes > 0) AddPcieBytes(charge.pcie_bytes);
 }
 
 }  // namespace gpm::gpusim

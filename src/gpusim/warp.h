@@ -73,10 +73,19 @@ class WarpCtx {
   void UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
                    std::size_t bytes);
 
+  /// PCIe traffic this warp task generated (zero-copy transactions, UM
+  /// migrations, mid-kernel pool drains). The kernel sums it per launch and
+  /// overlaps the total with its compute makespan — scoping the accumulator
+  /// to the task keeps interleaved transfers on other streams from being
+  /// attributed to the wrong kernel's overlap credit.
+  void AddPcieBytes(std::size_t bytes) { pcie_bytes_ += bytes; }
+  std::size_t pcie_bytes() const { return pcie_bytes_; }
+
  private:
   Device* device_;
   std::size_t task_id_;
   double cycles_ = 0;
+  std::size_t pcie_bytes_ = 0;
 };
 
 }  // namespace gpm::gpusim

@@ -19,6 +19,7 @@ REQUIRED_RUN_KEYS = {
     "params": dict,
     "peak_device_bytes": (int, float),
     "peak_host_bytes": (int, float),
+    "link_busy_cycles": (int, float),
     "counters": dict,
     "phases": list,
 }
@@ -27,6 +28,7 @@ REQUIRED_PARAM_KEYS = {
     "device_memory_bytes": (int, float),
     "um_device_buffer_bytes": (int, float),
     "num_warp_slots": (int, float),
+    "streams": (int, float),
 }
 
 # Every DeviceStats counter exported via Fields(); keep in sync with
@@ -110,6 +112,20 @@ def validate(doc):
                                                  (int, float)):
             if run["cycles"] <= 0:
                 fail(errors, f"{ctx}: completed run with cycles <= 0")
+        if isinstance(run.get("link_busy_cycles"), (int, float)):
+            if run["link_busy_cycles"] < 0:
+                fail(errors, f"{ctx}: negative link_busy_cycles")
+        # Skipped (crashed) runs and legacy benches that never call
+        # ReportProfile leave params zeroed; require the default stream
+        # only when a device was actually reported (cycles > 0).
+        if (not run.get("skipped")
+                and isinstance(run.get("cycles"), (int, float))
+                and run["cycles"] > 0
+                and isinstance(run.get("params"), dict)
+                and isinstance(run["params"].get("streams"), (int, float))):
+            if run["params"]["streams"] < 1:
+                fail(errors,
+                     f"{ctx}.params: streams < 1 (default stream missing)")
     return errors
 
 
