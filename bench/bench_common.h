@@ -81,6 +81,9 @@ struct BenchRun {
   double link_busy_cycles = 0;
   gpusim::DeviceStats counters;
   std::vector<gpusim::PhaseRecord> phases;
+  /// Adaptivity-audit totals when the variant ran with an audit attached
+  /// (adaptivity.enabled stays false otherwise and no JSON is emitted).
+  core::AdaptivitySummary adaptivity;
 };
 
 /// Collects every RegisterSim run of a bench binary and writes one
@@ -151,6 +154,18 @@ class BenchJson {
         w.EndObject();
       }
       w.EndArray();
+      if (r.adaptivity.enabled) {
+        const core::AdaptivitySummary& a = r.adaptivity;
+        w.Key("adaptivity").BeginObject();
+        w.Key("extensions").Value(a.extensions);
+        w.Key("mean_unified_pages").Value(a.mean_unified_pages);
+        w.Key("plan_cycles").Value(a.plan_cycles);
+        w.Key("actual_access_cycles").Value(a.actual_access_cycles);
+        w.Key("est_unified_cycles").Value(a.est_unified_cycles);
+        w.Key("est_zerocopy_cycles").Value(a.est_zerocopy_cycles);
+        w.Key("regret_cycles").Value(a.regret_cycles);
+        w.EndObject();
+      }
       w.EndObject();
     }
     w.EndArray();
@@ -220,6 +235,15 @@ inline void ReportProfile(benchmark::State& state,
     r->counters = device.stats().Snapshot();
     r->phases = device.profile().phases();
   }
+}
+
+/// Attaches a run's adaptivity-audit totals to the current BenchJson
+/// record and surfaces the regret as a benchmark counter.
+inline void ReportAdaptivity(benchmark::State& state,
+                             const core::AdaptivitySummary& summary) {
+  if (!summary.enabled) return;
+  state.counters["regret_cy"] = summary.regret_cycles;
+  if (BenchRun* r = BenchJson::Get().Current()) r->adaptivity = summary;
 }
 
 /// Registers a single-shot manual-time benchmark. The installed

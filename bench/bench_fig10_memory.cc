@@ -25,6 +25,15 @@ void ReportMemory(benchmark::State& state,
 
 enum class System { kGamma, kPangolinGpu, kGsi };
 
+// GAMMA runs carry the adaptivity audit so the bench JSON embeds the
+// hybrid's counterfactual costs; the in-core systems have no host
+// traffic to audit.
+core::GammaOptions GammaOptions() {
+  core::GammaOptions options = bench::BenchGammaOptions();
+  options.adaptivity_audit = true;
+  return options;
+}
+
 void BM_MemorySm(benchmark::State& state, std::string dataset, System sys) {
   const graph::Graph& g = bench::Dataset(dataset);
   graph::Pattern q = graph::Pattern::SmQuery(1, g.num_labels());
@@ -34,14 +43,14 @@ void BM_MemorySm(benchmark::State& state, std::string dataset, System sys) {
                                : bench::InCoreDeviceParams());
     Result<baselines::GpuRunResult> r =
         sys == System::kGamma
-            ? baselines::GammaMatch(&device, g, q,
-                                    bench::BenchGammaOptions())
+            ? baselines::GammaMatch(&device, g, q, GammaOptions())
             : baselines::GsiMatch(&device, g, q);
     if (!r.ok()) {
       bench::SkipCrashed(state, r.status());
       return;
     }
     bench::ReportProfile(state, device);
+    bench::ReportAdaptivity(state, r.value().adaptivity);
     ReportMemory(state, r.value());
   }
 }
@@ -55,14 +64,14 @@ void BM_MemoryKcl(benchmark::State& state, std::string dataset,
                                : bench::InCoreDeviceParams());
     Result<baselines::GpuRunResult> r =
         sys == System::kGamma
-            ? baselines::GammaKClique(&device, g, 4,
-                                      bench::BenchGammaOptions())
+            ? baselines::GammaKClique(&device, g, 4, GammaOptions())
             : baselines::PangolinGpuKClique(&device, g, 4);
     if (!r.ok()) {
       bench::SkipCrashed(state, r.status());
       return;
     }
     bench::ReportProfile(state, device);
+    bench::ReportAdaptivity(state, r.value().adaptivity);
     ReportMemory(state, r.value());
   }
 }
@@ -78,13 +87,14 @@ void BM_MemoryFpm(benchmark::State& state, std::string dataset,
     Result<baselines::GpuRunResult> r =
         sys == System::kGamma
             ? baselines::GammaFpm(&device, g, 3, min_support,
-                                  bench::BenchGammaOptions())
+                                  GammaOptions())
             : baselines::PangolinGpuFpm(&device, g, 3, min_support);
     if (!r.ok()) {
       bench::SkipCrashed(state, r.status());
       return;
     }
     bench::ReportProfile(state, device);
+    bench::ReportAdaptivity(state, r.value().adaptivity);
     ReportMemory(state, r.value());
   }
 }

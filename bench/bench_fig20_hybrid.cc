@@ -13,6 +13,9 @@ using namespace gpm;
 core::GammaOptions PlacementOptions(core::GraphPlacement placement) {
   core::GammaOptions options = bench::BenchGammaOptions();
   options.access.placement = placement;
+  // Every Fig. 20 variant carries its counterfactual audit, so the bench
+  // JSON can report per-placement regret alongside the measured times.
+  options.adaptivity_audit = true;
   return options;
 }
 
@@ -29,6 +32,7 @@ void BM_HybridSm(benchmark::State& state, std::string dataset,
       return;
     }
     bench::ReportProfile(state, device);
+    bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -45,6 +49,7 @@ void BM_HybridKcl(benchmark::State& state, std::string dataset,
       return;
     }
     bench::ReportProfile(state, device);
+    bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -61,6 +66,7 @@ void BM_HybridFpm(benchmark::State& state, std::string dataset,
       return;
     }
     bench::ReportProfile(state, device);
+    bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }

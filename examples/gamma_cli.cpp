@@ -51,6 +51,7 @@ struct CliOptions {
   std::string profile_json;
   std::string trace_out;
   std::string metrics_out;
+  std::string adaptivity_out;
   std::size_t trace_capacity = 0;  // 0 = keep the default
   double metrics_interval = 100000;
 };
@@ -88,7 +89,13 @@ void Usage() {
       "                     (default 65536; overflow counted, not stored)\n"
       "  --metrics-out F    write a gamma.metrics.v1 counter time-series\n"
       "  --metrics-interval N  metrics sampling interval in simulated\n"
-      "                     cycles (default 100000)");
+      "                     cycles (default 100000)\n"
+      "  --adaptivity-out F write a gamma.adaptivity.v1 audit: one record\n"
+      "                     per extension with the hybrid's heat/N_u\n"
+      "                     decision, actual traffic, and counterfactual\n"
+      "                     unified-only / zerocopy-only shadow costs\n"
+      "                     (host placements only; also enables the\n"
+      "                     --stats adaptivity summary line)");
 }
 
 bool Parse(int argc, char** argv, CliOptions* o) {
@@ -143,6 +150,8 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->metrics_out = next();
     } else if (a == "--metrics-interval") {
       o->metrics_interval = std::strtod(next(), nullptr);
+    } else if (a == "--adaptivity-out") {
+      o->adaptivity_out = next();
     } else if (a == "--help" || a == "-h") {
       Usage();
       return false;
@@ -179,6 +188,9 @@ core::GammaOptions FrameworkOptions(const CliOptions& o) {
   if (o.extension_chunk_rows > 0) {
     options.extension.chunk_rows = o.extension_chunk_rows;
   }
+  // The audit also feeds the --stats summary line, so either flag turns
+  // it on (the engine ignores it for placements with no host traffic).
+  options.adaptivity_audit = !o.adaptivity_out.empty() || o.show_stats;
   return options;
 }
 
@@ -312,6 +324,16 @@ int main(int argc, char** argv) {
     std::printf("peak device: %.2f MiB, peak host: %.2f MiB\n",
                 device.PeakDeviceBytes() / 1048576.0,
                 device.host_tracker().peak_bytes() / 1048576.0);
+    if (engine.audit() != nullptr) {
+      core::AdaptivitySummary s = engine.audit()->Summary();
+      std::printf(
+          "adaptivity: %llu extensions, mean N_u %.1f pages, "
+          "regret %+.0f cycles vs best pure (%s)\n",
+          static_cast<unsigned long long>(s.extensions),
+          s.mean_unified_pages, s.regret_cycles,
+          s.est_unified_cycles <= s.est_zerocopy_cycles ? "unified"
+                                                        : "zerocopy");
+    }
   }
   if (!o.profile_json.empty()) {
     std::ofstream out(o.profile_json);
@@ -358,6 +380,24 @@ int main(int argc, char** argv) {
     std::printf("metrics written to %s (%zu samples every %.0f cycles)\n",
                 o.metrics_out.c_str(), device.metrics().samples().size(),
                 device.metrics().interval_cycles());
+  }
+  if (!o.adaptivity_out.empty()) {
+    if (engine.audit() == nullptr) {
+      std::fprintf(stderr,
+                   "--adaptivity-out: placement %s has no host-memory "
+                   "traffic to audit\n",
+                   o.placement.c_str());
+      return 1;
+    }
+    std::ofstream out(o.adaptivity_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   o.adaptivity_out.c_str());
+      return 1;
+    }
+    out << engine.audit()->ToJson();
+    std::printf("adaptivity audit written to %s (%zu extension records)\n",
+                o.adaptivity_out.c_str(), engine.audit()->records().size());
   }
   return 0;
 }

@@ -8,13 +8,16 @@
 namespace gpm::baselines {
 namespace {
 
-GpuRunResult Snapshot(gpusim::Device* device, uint64_t count,
-                      double sim_millis) {
+GpuRunResult Snapshot(gpusim::Device* device, core::GammaEngine* engine,
+                      uint64_t count, double sim_millis) {
   GpuRunResult r;
   r.count = count;
   r.sim_millis = sim_millis;
   r.peak_device_bytes = device->PeakDeviceBytes();
   r.peak_host_bytes = device->host_tracker().peak_bytes();
+  if (engine != nullptr && engine->audit() != nullptr) {
+    r.adaptivity = engine->audit()->Summary();
+  }
   return r;
 }
 
@@ -48,7 +51,8 @@ Result<GpuRunResult> PangolinGpuKClique(gpusim::Device* device,
   FitPoolToFreeMemory(&engine, device);
   auto run = algos::CountKCliques(&engine, k);
   if (!run.ok()) return run.status();
-  return Snapshot(device, run.value().cliques, run.value().sim_millis);
+  return Snapshot(device, &engine, run.value().cliques,
+                  run.value().sim_millis);
 }
 
 Result<GpuRunResult> PangolinGpuFpm(gpusim::Device* device,
@@ -61,7 +65,7 @@ Result<GpuRunResult> PangolinGpuFpm(gpusim::Device* device,
   auto run = algos::MineFrequentPatterns(
       &engine, {.max_edges = max_edges, .min_support = min_support});
   if (!run.ok()) return run.status();
-  return Snapshot(device, run.value().patterns.size(),
+  return Snapshot(device, &engine, run.value().patterns.size(),
                   run.value().sim_millis);
 }
 
@@ -73,7 +77,8 @@ Result<GpuRunResult> GsiMatch(gpusim::Device* device, const graph::Graph& g,
   FitPoolToFreeMemory(&engine, device);
   auto run = algos::MatchWoj(&engine, query);
   if (!run.ok()) return run.status();
-  return Snapshot(device, run.value().embeddings, run.value().sim_millis);
+  return Snapshot(device, &engine, run.value().embeddings,
+                  run.value().sim_millis);
 }
 
 Result<GpuRunResult> GammaKClique(gpusim::Device* device,
@@ -84,7 +89,8 @@ Result<GpuRunResult> GammaKClique(gpusim::Device* device,
   if (!st.ok()) return st;
   auto run = algos::CountKCliques(&engine, k);
   if (!run.ok()) return run.status();
-  return Snapshot(device, run.value().cliques, run.value().sim_millis);
+  return Snapshot(device, &engine, run.value().cliques,
+                  run.value().sim_millis);
 }
 
 Result<GpuRunResult> GammaMatch(gpusim::Device* device,
@@ -96,7 +102,8 @@ Result<GpuRunResult> GammaMatch(gpusim::Device* device,
   if (!st.ok()) return st;
   auto run = algos::MatchWoj(&engine, query);
   if (!run.ok()) return run.status();
-  return Snapshot(device, run.value().embeddings, run.value().sim_millis);
+  return Snapshot(device, &engine, run.value().embeddings,
+                  run.value().sim_millis);
 }
 
 Result<GpuRunResult> GammaFpm(gpusim::Device* device, const graph::Graph& g,
@@ -108,7 +115,7 @@ Result<GpuRunResult> GammaFpm(gpusim::Device* device, const graph::Graph& g,
   auto run = algos::MineFrequentPatterns(
       &engine, {.max_edges = max_edges, .min_support = min_support});
   if (!run.ok()) return run.status();
-  return Snapshot(device, run.value().patterns.size(),
+  return Snapshot(device, &engine, run.value().patterns.size(),
                   run.value().sim_millis);
 }
 

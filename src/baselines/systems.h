@@ -20,6 +20,9 @@ struct GpuRunResult {
   double sim_millis = 0;
   std::size_t peak_device_bytes = 0;
   std::size_t peak_host_bytes = 0;
+  /// Whole-run adaptivity-audit totals (enabled=false when the run's
+  /// GammaOptions did not request an audit).
+  core::AdaptivitySummary adaptivity;
 };
 
 /// CPU system models as configured for the paper's comparisons.

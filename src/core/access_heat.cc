@@ -9,6 +9,10 @@ namespace gpm::core {
 namespace {
 
 // Top-`n` page indices of `score`, highest first, zero-score excluded.
+// The comparator is a total order (score desc, then page index asc), so
+// the selection is deterministic even among equal-score pages — audit
+// records and hybrid plans must reproduce bit-identically across
+// platforms and std::partial_sort implementations.
 std::vector<uint32_t> TopOf(const std::vector<double>& score,
                             std::size_t n) {
   std::vector<uint32_t> pages;
@@ -70,6 +74,7 @@ const std::vector<double>& AccessHeatTracker::FinalizeExtension() {
   GAMMA_CHECK(extension_index_ > 0) << "FinalizeExtension before Begin";
   double denom = current_total_ + history_total_;
   double w_spatial = denom > 0 ? current_total_ / denom : 1.0;
+  last_w_spatial_ = w_spatial;
   double past = std::max(1, extension_index_ - 1);
   for (std::size_t p = 0; p < heat_.size(); ++p) {
     heat_[p] =

@@ -41,7 +41,10 @@ class AccessHeatTracker {
   const std::vector<double>& FinalizeExtension();
 
   /// Indices of the `n` hottest pages after the last FinalizeExtension,
-  /// highest heat first. Pages with zero heat are never returned.
+  /// highest heat first. Pages with zero heat are never returned. Equal
+  /// heat ties break by ascending page index, so the selected set (and
+  /// every audit record derived from it) is identical across platforms,
+  /// compilers, and repeated runs.
   std::vector<uint32_t> TopPages(std::size_t n) const;
 
   /// Fig. 5 metric: |top-k now ∩ top-k previous| / k. Returns 0 before the
@@ -50,13 +53,22 @@ class AccessHeatTracker {
 
   const std::vector<double>& spatial() const { return spatial_; }
   const std::vector<double>& temporal() const { return temporal_; }
+  const std::vector<double>& heat() const { return heat_; }
   int extensions_seen() const { return extension_index_; }
+
+  /// The w_s the last FinalizeExtension used (Def. 4.3 weight between the
+  /// spatial and temporal terms); 1.0 before any finalize.
+  double last_w_spatial() const { return last_w_spatial_; }
+
+  /// A_i: total planned bytes*times of the pending/last extension.
+  double current_total() const { return current_total_; }
 
  private:
   std::size_t page_bytes_;
   int extension_index_ = 0;  // i in the definitions; 1-based once begun
   double current_total_ = 0;     // A_i
   double history_total_ = 0;     // sum_{j<i} A_j
+  double last_w_spatial_ = 1.0;  // w_s of the last FinalizeExtension
   std::vector<double> spatial_;  // SpatialLoc_i(p)
   std::vector<double> temporal_;  // TempLoc_i(p) = cumulative past spatial
   std::vector<double> heat_;          // AccHeat_i(p)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/adaptivity_audit.h"
 
 namespace gpm::core {
 
@@ -103,7 +104,21 @@ void GraphAccessor::PlanExtension(
     device_->CopyHostToDevice(gather_bytes);
     return;
   }
+  if (audit_ != nullptr) {
+    // One audit record per extension under every audited placement, so
+    // pure runs line up record-for-record with a hybrid run. Planned
+    // bytes are recomputed here because the pure placements skip the heat
+    // tracker entirely (the hybrid branch overwrites this with the heat
+    // tracker's exact A_i below).
+    double planned = 0;
+    for (auto [v, times] : frontier) {
+      planned += static_cast<double>(graph_->adjacency_bytes(v)) *
+                 static_cast<double>(times);
+    }
+    audit_->BeginExtension(frontier.size(), planned);
+  }
   if (options_.placement != GraphPlacement::kHybridAdaptive) return;
+  const double plan_start_cycles = device_->now_cycles();
   heat_.BeginExtension();
   for (auto [v, times] : frontier) {
     heat_.AddPlannedAccess(graph_->adjacency_offset_bytes(v),
@@ -134,6 +149,15 @@ void GraphAccessor::PlanExtension(
   // per page, which is generous to the baselines (they skip this step).
   device_->ChargeHostWork(static_cast<double>(frontier.size()) +
                           static_cast<double>(heat_.num_pages()));
+
+  // Gauge is maintained with or without an audit so metrics sampling can
+  // plot N_u from any hybrid run; zero-cost when metrics are off.
+  device_->adaptivity_gauges().unified_page_count = unified_page_count_;
+  if (audit_ != nullptr) {
+    audit_->RecordHybridPlan(heat_, unified_page_count_,
+                             heat_.HotPageOverlap(n_u),
+                             device_->now_cycles() - plan_start_cycles);
+  }
 }
 
 bool GraphAccessor::PageIsUnified(std::size_t page) const {
@@ -162,6 +186,12 @@ void GraphAccessor::ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
     warp.DeviceRead(bytes);
     return;
   }
+  // Graph spans are replayed into the counterfactual shadow models here,
+  // where the offsets are known (the zero-copy warp path cannot recover
+  // them); the SpanGuard stops the observer taps from replaying the real
+  // charges a second time while still accumulating their actual cycles.
+  if (audit_ != nullptr) audit_->OnGraphSpan(region, offset, bytes);
+  AdaptivityAudit::SpanGuard guard(audit_);
   const std::size_t page_bytes = device_->params().um_page_bytes;
   std::size_t first = offset / page_bytes;
   std::size_t last = (offset + bytes - 1) / page_bytes;

@@ -14,6 +14,8 @@
 
 namespace gpm::core {
 
+class AdaptivityAudit;
+
 /// How the data graph is reached from device code.
 enum class GraphPlacement : uint8_t {
   /// GAMMA's self-adaptive hybrid: per page, unified or zero-copy, chosen
@@ -113,6 +115,12 @@ class GraphAccessor {
   /// Bytes staged by the last explicit-transfer plan (kExplicitTransfer).
   std::size_t staged_bytes() const { return staged_bytes_; }
 
+  /// Attaches an adaptivity audit (owned by the engine). The accessor then
+  /// opens one audit record per PlanExtension and routes graph spans
+  /// through the audit's shadow cost models. Pass nullptr to detach.
+  void set_audit(AdaptivityAudit* audit) { audit_ = audit; }
+  AdaptivityAudit* audit() const { return audit_; }
+
  private:
   bool PageIsUnified(std::size_t page) const;
   void ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
@@ -141,6 +149,9 @@ class GraphAccessor {
 
   // Explicit-transfer staging state.
   std::size_t staged_bytes_ = 0;
+
+  // Optional decision/counterfactual audit (not owned).
+  AdaptivityAudit* audit_ = nullptr;
 };
 
 }  // namespace gpm::core

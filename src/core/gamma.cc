@@ -26,7 +26,17 @@ GammaEngine::GammaEngine(gpusim::Device* device, const graph::Graph* graph,
     : device_(device),
       graph_(graph),
       options_(options),
-      accessor_(device, graph, options.access) {}
+      accessor_(device, graph, options.access) {
+  const GraphPlacement placement = options_.access.placement;
+  const bool host_resident = placement == GraphPlacement::kHybridAdaptive ||
+                             placement == GraphPlacement::kUnifiedOnly ||
+                             placement == GraphPlacement::kZeroCopyOnly;
+  if (options_.adaptivity_audit && host_resident) {
+    audit_ = std::make_unique<AdaptivityAudit>(device_, placement);
+    device_->set_access_observer(audit_.get());
+    accessor_.set_audit(audit_.get());
+  }
+}
 
 Status GammaEngine::Prepare() {
   GAMMA_CHECK(!prepared_) << "Prepare called twice";

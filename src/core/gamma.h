@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/adaptive_access.h"
+#include "core/adaptivity_audit.h"
 #include "core/aggregation.h"
 #include "core/extension.h"
 #include "core/filtering.h"
@@ -24,6 +25,13 @@ struct GammaOptions {
   /// In-core mode: embedding tables live in device memory and runs fail
   /// with kDeviceOutOfMemory when they outgrow it (baseline behaviour).
   bool device_resident_tables = false;
+  /// Attaches a core::AdaptivityAudit for the run: per-extension decision
+  /// records plus counterfactual unified-only/zero-copy-only shadow
+  /// costing (gamma.adaptivity.v1). Only meaningful for the host-resident
+  /// placements (hybrid/unified/zero-copy); ignored otherwise. Off by
+  /// default — observing is read-only, but the shadow replay costs real
+  /// wall-clock time.
+  bool adaptivity_audit = false;
 };
 
 /// The user-facing GAMMA framework façade (Fig. 3).
@@ -84,11 +92,18 @@ class GammaEngine {
   const GammaOptions& options() const { return options_; }
   GammaOptions& mutable_options() { return options_; }
 
+  /// The run's adaptivity audit, or nullptr when GammaOptions did not
+  /// enable one (or the placement has no host-memory traffic to audit).
+  AdaptivityAudit* audit() { return audit_.get(); }
+
  private:
   gpusim::Device* device_;
   const graph::Graph* graph_;
   GammaOptions options_;
   GraphAccessor accessor_;
+  // Destroyed before accessor_/device_ users run down; the audit detaches
+  // itself from the device on destruction.
+  std::unique_ptr<AdaptivityAudit> audit_;
   bool prepared_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "gpusim/access_observer.h"
 #include "gpusim/device_memory.h"
 #include "gpusim/metrics.h"
 #include "gpusim/profile.h"
@@ -70,6 +71,30 @@ class Device {
   /// Disabled until an interval is set; fed on every clock advance.
   MetricsSampler& metrics() { return metrics_; }
   const MetricsSampler& metrics() const { return metrics_; }
+
+  /// Attaches a read-only tap on every unified-memory / zero-copy charge
+  /// (see AccessObserver); nullptr detaches. One observer at a time; the
+  /// adaptivity audit uses this to run counterfactual shadow models
+  /// alongside the real charges without perturbing them.
+  void set_access_observer(AccessObserver* observer) {
+    access_observer_ = observer;
+    unified_.set_observer(observer);
+  }
+  AccessObserver* access_observer() const { return access_observer_; }
+
+  /// Latest adaptivity readings, sampled into gamma.metrics.v1 as the
+  /// `unified_page_count` / `adaptivity_regret_cycles` gauges. The hybrid
+  /// accessor updates the page count at every plan; the audit (when
+  /// attached) updates the cumulative regret as records close. Both stay
+  /// zero for pure placements or when the machinery is off.
+  struct AdaptivityGauges {
+    std::size_t unified_page_count = 0;
+    double regret_cycles = 0;
+  };
+  AdaptivityGauges& adaptivity_gauges() { return adaptivity_gauges_; }
+  const AdaptivityGauges& adaptivity_gauges() const {
+    return adaptivity_gauges_;
+  }
 
   // -- Streams and events -----------------------------------------------------
 
@@ -304,6 +329,8 @@ class Device {
   TraceRecorder trace_recorder_;
   MetricsSampler metrics_;
   DeviceBuffer um_buffer_reservation_;
+  AccessObserver* access_observer_ = nullptr;
+  AdaptivityGauges adaptivity_gauges_;
   StreamSet streams_;
   std::vector<StreamId> worker_streams_;
   // Cached join of all stream clocks; UnifiedMemory::BindTrace holds a

@@ -11,9 +11,10 @@ namespace {
 
 // Gauge columns preceding the DeviceStats counters in every sample row.
 constexpr const char* kGaugeColumns[] = {
-    "cycles",            "device_used_bytes", "device_peak_bytes",
-    "um_resident_pages", "um_capacity_pages", "host_bytes",
-    "streams",           "link_busy_cycles",
+    "cycles",            "device_used_bytes",  "device_peak_bytes",
+    "um_resident_pages", "um_capacity_pages",  "host_bytes",
+    "streams",           "link_busy_cycles",   "unified_page_count",
+    "adaptivity_regret_cycles",
 };
 
 }  // namespace
@@ -42,6 +43,8 @@ void MetricsSampler::Take(const Device& device) {
   s.host_bytes = device.host_tracker().current_bytes();
   s.streams = device.streams().num_streams();
   s.link_busy_cycles = device.streams().link_busy_cycles();
+  s.unified_page_count = device.adaptivity_gauges().unified_page_count;
+  s.adaptivity_regret_cycles = device.adaptivity_gauges().regret_cycles;
   s.counters = device.stats().Snapshot();
   samples_.push_back(std::move(s));
 }
@@ -70,6 +73,8 @@ std::string MetricsSampler::ToJson(const Device& device) const {
     w.Value(s.host_bytes);
     w.Value(s.streams);
     w.Value(s.link_busy_cycles);
+    w.Value(s.unified_page_count);
+    w.Value(s.adaptivity_regret_cycles);
     for (const DeviceStats::Field& f : DeviceStats::Fields()) {
       w.Value(s.counters.*f.member);
     }

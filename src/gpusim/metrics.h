@@ -39,6 +39,12 @@ class MetricsSampler {
     std::size_t host_bytes = 0;
     int streams = 0;                ///< stream count at the sample point
     double link_busy_cycles = 0;    ///< cumulative PCIe-link busy time
+    /// Pages the hybrid plan currently flags for unified access (0 for
+    /// pure placements / no engine).
+    std::size_t unified_page_count = 0;
+    /// Cumulative hybrid-vs-best-pure regret from the adaptivity audit
+    /// (0 unless an audit is attached).
+    double adaptivity_regret_cycles = 0;
     DeviceStats counters;
   };
 

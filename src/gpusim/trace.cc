@@ -23,6 +23,10 @@ constexpr int kPhaseTid = 2;
 constexpr int kUmTid = 3;
 constexpr int kStreamTidBase = 3;  // stream s >= 1 -> tid kStreamTidBase + s
 constexpr int kWarpSlotPid = 2;
+// Adaptivity decisions get their own process: stream tids are unbounded
+// within kDevicePid, so a fixed device-side tid could collide with one.
+constexpr int kAdaptivityPid = 3;
+constexpr int kAdaptivityTid = 1;
 
 int StreamTid(int stream) {
   return stream == 0 ? kKernelTid : kStreamTidBase + stream;
@@ -45,6 +49,8 @@ const char* Category(TraceRecorder::Kind kind) {
       return "phase";
     case TraceRecorder::Kind::kWarpSlot:
       return "warp-slot";
+    case TraceRecorder::Kind::kAdaptivity:
+      return "adaptivity";
     default:
       return "um";
   }
@@ -90,6 +96,8 @@ const char* TraceKindName(TraceRecorder::Kind kind) {
       return "um-evict";
     case TraceRecorder::Kind::kUmPrefetch:
       return "um-prefetch";
+    case TraceRecorder::Kind::kAdaptivity:
+      return "adaptivity-plan";
   }
   return "?";
 }
@@ -126,6 +134,7 @@ std::string TraceRecorder::ToChromeTraceJson(const SimParams& params) const {
   std::map<std::pair<int, int>, std::vector<EmitEvent>> tracks;
   std::set<int> slot_tids;
   std::set<int> stream_tids;  // non-default streams needing a thread name
+  bool has_adaptivity = false;
   for (const Event& ev : events_) {
     std::pair<int, int> track;
     switch (ev.kind) {
@@ -140,6 +149,10 @@ std::string TraceRecorder::ToChromeTraceJson(const SimParams& params) const {
       case Kind::kWarpSlot:
         track = {kWarpSlotPid, ev.track};
         slot_tids.insert(ev.track);
+        break;
+      case Kind::kAdaptivity:
+        track = {kAdaptivityPid, kAdaptivityTid};
+        has_adaptivity = true;
         break;
       default:
         track = {kDevicePid, kUmTid};
@@ -194,6 +207,10 @@ std::string TraceRecorder::ToChromeTraceJson(const SimParams& params) const {
            "slot " + std::to_string(slot));
     }
   }
+  if (has_adaptivity) {
+    meta("process_name", kAdaptivityPid, 0, "adaptivity");
+    meta("thread_name", kAdaptivityPid, kAdaptivityTid, "decisions");
+  }
 
   for (auto& [track, emits] : tracks) {
     std::stable_sort(emits.begin(), emits.end(), EmitOrder);
@@ -212,8 +229,14 @@ std::string TraceRecorder::ToChromeTraceJson(const SimParams& params) const {
       if (e.ph == 'i') {
         w.Key("s").Value("t");
         w.Key("args").BeginObject();
-        w.Key("region").Value(ev.region);
-        w.Key("page").Value(ev.page);
+        if (ev.kind == Kind::kAdaptivity) {
+          // The region/page slots carry the decision payload instead.
+          w.Key("extension").Value(ev.region);
+          w.Key("unified_pages").Value(ev.page);
+        } else {
+          w.Key("region").Value(ev.region);
+          w.Key("page").Value(ev.page);
+        }
         w.EndObject();
       }
       w.EndObject();

@@ -42,6 +42,7 @@ class TraceRecorder {
     kUmHit,       // access to a resident page (instant, region/page)
     kUmEviction,  // LRU eviction from the page buffer (instant)
     kUmPrefetch,  // bulk migration without fault penalty (instant)
+    kAdaptivity,  // one hybrid placement decision (instant; see below)
   };
 
   /// One recorded event. Spans use [begin_cycles, end_cycles]; instants
@@ -87,6 +88,15 @@ class TraceRecorder {
   /// Records an instantaneous unified-memory page event at `ts_cycles`.
   void RecordUmEvent(Kind kind, double ts_cycles, uint32_t region,
                      uint64_t page);
+
+  /// Records one per-extension placement decision of the adaptive hybrid
+  /// at `ts_cycles` on the dedicated "adaptivity" track: `extension` is
+  /// the 1-based extension index, `unified_pages` the N_u pages the plan
+  /// flagged for unified access. Reuses the Event region/page slots.
+  void RecordAdaptivity(double ts_cycles, uint32_t extension,
+                        uint64_t unified_pages) {
+    RecordUmEvent(Kind::kAdaptivity, ts_cycles, extension, unified_pages);
+  }
 
   /// Renders the buffer as a Chrome trace-event JSON document
   /// (`gamma.trace.v1`). Timestamps convert from cycles to microseconds

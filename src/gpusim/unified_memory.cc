@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "gpusim/access_observer.h"
 #include "gpusim/trace.h"
 
 namespace gpm::gpusim {
@@ -34,6 +35,9 @@ void UnifiedMemory::ResizeRegion(RegionId region, std::size_t new_bytes) {
   GAMMA_CHECK(it != region_bytes_.end()) << "resize of unknown UM region";
   std::size_t old_bytes = it->second;
   it->second = new_bytes;
+  if (observer_ != nullptr) {
+    observer_->OnRegionResized(region, old_bytes, new_bytes);
+  }
   if (new_bytes < old_bytes) {
     uint64_t first_stale = (new_bytes + params_.um_page_bytes - 1) /
                            params_.um_page_bytes;
@@ -64,6 +68,7 @@ std::size_t UnifiedMemory::PrefetchPage(RegionId region,
 }
 
 void UnifiedMemory::InvalidateRegion(RegionId region) {
+  if (observer_ != nullptr) observer_->OnRegionInvalidated(region);
   for (auto it = resident_.begin(); it != resident_.end();) {
     if ((it->first >> 48) == region) {
       lru_.erase(it->second);
@@ -132,6 +137,9 @@ AccessCharge UnifiedMemory::Access(RegionId region, std::size_t offset,
                 p);
       InsertPage(key);
     }
+  }
+  if (observer_ != nullptr) {
+    observer_->OnUnifiedAccess(region, offset, bytes, charge.cycles);
   }
   return charge;
 }

@@ -12,6 +12,7 @@
 
 namespace gpm::gpusim {
 
+class AccessObserver;
 class TraceRecorder;
 
 /// Charge produced by a memory access: warp stall cycles plus bytes that
@@ -51,6 +52,13 @@ class UnifiedMemory {
     trace_ = trace;
     now_cycles_ = now_cycles;
   }
+
+  /// Attaches a read-only tap on the access stream (see AccessObserver);
+  /// nullptr detaches. Set through `Device::set_access_observer`, which
+  /// keeps the warp-level zero-copy tap in sync. Observers never alter
+  /// charges or counters, so results are identical with one attached.
+  void set_observer(AccessObserver* observer) { observer_ = observer; }
+  AccessObserver* observer() const { return observer_; }
 
   /// Registers a managed region of `bytes` bytes; returns its id.
   RegionId Register(std::size_t bytes);
@@ -93,6 +101,7 @@ class UnifiedMemory {
 
   const SimParams& params_;
   DeviceStats* stats_;
+  AccessObserver* observer_ = nullptr;
   TraceRecorder* trace_ = nullptr;
   const double* now_cycles_ = nullptr;
   std::size_t capacity_pages_;

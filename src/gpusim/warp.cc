@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gpusim/access_observer.h"
 #include "gpusim/device.h"
 
 namespace gpm::gpusim {
@@ -63,9 +64,13 @@ void WarpCtx::ZeroCopyRead(std::size_t bytes) {
   device_->stats().zc_transactions += ntx;
   device_->stats().zc_bytes += ntx * p.zc_transaction_bytes;
   // First transaction pays full link latency; the rest pipeline.
-  cycles_ += p.pcie_latency_cycles +
-             static_cast<double>(ntx - 1) * p.zc_pipelined_cycles;
+  const double charge = p.pcie_latency_cycles +
+                        static_cast<double>(ntx - 1) * p.zc_pipelined_cycles;
+  cycles_ += charge;
   AddPcieBytes(ntx * p.zc_transaction_bytes);
+  if (AccessObserver* obs = device_->access_observer()) {
+    obs->OnZeroCopy(bytes, charge);
+  }
 }
 
 void WarpCtx::ZeroCopyWrite(std::size_t bytes) {

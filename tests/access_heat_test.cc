@@ -63,6 +63,45 @@ TEST(AccessHeatTest, TopPagesOrderedByHeat) {
   EXPECT_EQ(top[1], 2u);
 }
 
+TEST(AccessHeatTest, TopPagesBreaksEqualHeatTiesByPageIndex) {
+  // Six pages with identical heat and two hotter ones interleaved: the
+  // selection must be deterministic (score desc, then page index asc), or
+  // the hybrid's unified page set — and every audit record derived from
+  // it — would vary across platforms and partial_sort implementations.
+  AccessHeatTracker t(8 * 4096, 4096);
+  t.BeginExtension();
+  for (int p = 0; p < 8; ++p) t.AddPlannedAccess(p * 4096, 100, 1);
+  t.AddPlannedAccess(5 * 4096, 100, 1);  // page 5: 200
+  t.AddPlannedAccess(2 * 4096, 100, 1);  // page 2: 200
+  t.FinalizeExtension();
+  auto top = t.TopPages(5);
+  ASSERT_EQ(top.size(), 5u);
+  // The two 200-heat pages first (tie between them broken 2 < 5), then
+  // the lowest-indexed of the six 100-heat pages.
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 5u);
+  EXPECT_EQ(top[2], 0u);
+  EXPECT_EQ(top[3], 1u);
+  EXPECT_EQ(top[4], 3u);
+  // And repeatably so.
+  EXPECT_EQ(t.TopPages(5), top);
+}
+
+TEST(AccessHeatTest, FinalizeRecordsWSpatial) {
+  AccessHeatTracker t(8192, 4096);
+  EXPECT_DOUBLE_EQ(t.last_w_spatial(), 1.0);  // before any finalize
+  t.BeginExtension();
+  t.AddPlannedAccess(0, 100, 1);
+  t.FinalizeExtension();
+  EXPECT_DOUBLE_EQ(t.last_w_spatial(), 1.0);  // no history yet
+  t.BeginExtension();
+  t.AddPlannedAccess(0, 300, 1);
+  t.FinalizeExtension();
+  // w_s = A_2 / (A_2 + A_1) = 300 / 400.
+  EXPECT_DOUBLE_EQ(t.last_w_spatial(), 0.75);
+  EXPECT_DOUBLE_EQ(t.current_total(), 300.0);
+}
+
 TEST(AccessHeatTest, TopPagesExcludesColdPages) {
   AccessHeatTracker t(4 * 4096, 4096);
   t.BeginExtension();

@@ -132,8 +132,8 @@ TEST(MetricsSamplerTest, JsonHasEveryColumnAndMatchingRows) {
 
   const minijson::Value* columns = doc.Find("columns");
   ASSERT_NE(columns, nullptr);
-  // Eight gauges plus every DeviceStats counter, each exactly once.
-  ASSERT_EQ(columns->array.size(), 8 + DeviceStats::Fields().size());
+  // Ten gauges plus every DeviceStats counter, each exactly once.
+  ASSERT_EQ(columns->array.size(), 10 + DeviceStats::Fields().size());
   std::set<std::string> names;
   for (const minijson::Value& c : columns->array) names.insert(c.str);
   EXPECT_EQ(names.size(), columns->array.size()) << "duplicate column";
@@ -143,7 +143,8 @@ TEST(MetricsSamplerTest, JsonHasEveryColumnAndMatchingRows) {
   for (const char* gauge : {"cycles", "device_used_bytes", "host_bytes",
                             "um_resident_pages", "um_capacity_pages",
                             "device_peak_bytes", "streams",
-                            "link_busy_cycles"}) {
+                            "link_busy_cycles", "unified_page_count",
+                            "adaptivity_regret_cycles"}) {
     EXPECT_TRUE(names.count(gauge)) << "missing gauge column " << gauge;
   }
 

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Diffs a gamma.bench.v1 document against a checked-in baseline and fails
+on any drift outside tolerance — the CI perf-regression gate.
+
+The simulator is deterministic, so almost everything must match exactly:
+run names, skip states, every DeviceStats counter, phase invocation
+counts, device parameters. Cycle-valued fields (cycles, sim_millis,
+link_busy_cycles, phase cycles, adaptivity estimates) are compared with a
+small relative tolerance (default 1e-9) that absorbs floating-point
+differences across compilers/architectures (FMA contraction, libm) while
+still catching any real cost-model change, which moves these numbers by
+orders of magnitude more.
+
+Usage:
+    compare_bench_json.py baseline.json current.json
+        [--tol KEY=REL ...]       per-key relative tolerance override
+        [--default-tol REL]       tolerance for cycle-valued keys
+        [--report FILE]           write a line-per-difference report
+
+Exit status: 0 = within tolerance, 1 = drift or structural mismatch,
+2 = usage error. Intentional perf changes are shipped by regenerating the
+baseline in the same PR (see docs/OBSERVABILITY.md).
+"""
+
+import argparse
+import json
+import sys
+
+# Keys holding simulated-time values: compared with a relative tolerance.
+# Everything else (counters, bytes, counts, names, flags) must be exact.
+CYCLE_VALUED_KEYS = {
+    "cycles",
+    "sim_millis",
+    "link_busy_cycles",
+    "plan_cycles",
+    "actual_access_cycles",
+    "est_unified_cycles",
+    "est_zerocopy_cycles",
+    "regret_cycles",
+    "mean_unified_pages",
+    "access_cycles",
+}
+
+# Document-level keys that may legitimately differ between a baseline and
+# a fresh run (nothing today; placeholder for e.g. timestamps).
+IGNORED_KEYS = set()
+
+
+def rel_diff(a, b):
+    if a == b:
+        return 0.0
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale > 0 else float("inf")
+
+
+class Comparator:
+    def __init__(self, default_tol, overrides):
+        self.default_tol = default_tol
+        self.overrides = overrides
+        self.diffs = []
+
+    def tolerance_for(self, key):
+        if key in self.overrides:
+            return self.overrides[key]
+        if key in CYCLE_VALUED_KEYS:
+            return self.default_tol
+        return 0.0
+
+    def compare(self, base, cur, path, key=""):
+        if key in IGNORED_KEYS:
+            return
+        if isinstance(base, dict) and isinstance(cur, dict):
+            for k in base:
+                if k not in cur:
+                    self.diffs.append(f"{path}.{k}: missing in current")
+                else:
+                    self.compare(base[k], cur[k], f"{path}.{k}", k)
+            for k in cur:
+                if k not in base:
+                    self.diffs.append(f"{path}.{k}: not in baseline")
+            return
+        if isinstance(base, list) and isinstance(cur, list):
+            if len(base) != len(cur):
+                self.diffs.append(
+                    f"{path}: length {len(base)} -> {len(cur)}")
+                return
+            for i, (b, c) in enumerate(zip(base, cur)):
+                self.compare(b, c, f"{path}[{i}]", key)
+            return
+        # bool is an int subclass: treat real bools as exact scalars first.
+        if isinstance(base, bool) or isinstance(cur, bool):
+            if base is not cur:
+                self.diffs.append(f"{path}: {base} -> {cur}")
+            return
+        if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+            tol = self.tolerance_for(key)
+            d = rel_diff(base, cur)
+            if d > tol:
+                self.diffs.append(
+                    f"{path}: {base!r} -> {cur!r} (rel {d:.3e}, tol {tol:g})")
+            return
+        if base != cur:
+            self.diffs.append(f"{path}: {base!r} -> {cur!r}")
+
+
+def index_runs(doc, path):
+    runs = {}
+    for run in doc.get("runs", []):
+        name = run.get("name", "?")
+        if name in runs:
+            print(f"{path}: duplicate run name {name!r}", file=sys.stderr)
+        runs[name] = run
+    return runs
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="diff a gamma.bench.v1 document against a baseline")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--default-tol", type=float, default=1e-9,
+                    help="relative tolerance for cycle-valued keys")
+    ap.add_argument("--tol", action="append", default=[],
+                    metavar="KEY=REL",
+                    help="per-key relative tolerance override")
+    ap.add_argument("--report", help="write the difference report here")
+    args = ap.parse_args(argv[1:])
+
+    overrides = {}
+    for spec in args.tol:
+        key, _, val = spec.partition("=")
+        if not val:
+            ap.error(f"--tol wants KEY=REL, got {spec!r}")
+        overrides[key] = float(val)
+
+    docs = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 2
+    base_doc, cur_doc = docs
+
+    cmp = Comparator(args.default_tol, overrides)
+    for doc, path in ((base_doc, args.baseline), (cur_doc, args.current)):
+        if doc.get("schema") != "gamma.bench.v1":
+            print(f"{path}: schema is {doc.get('schema')!r}, "
+                  f"want 'gamma.bench.v1'", file=sys.stderr)
+            return 2
+
+    cmp.compare(base_doc.get("binary"), cur_doc.get("binary"), "binary",
+                "binary")
+    base_runs = index_runs(base_doc, args.baseline)
+    cur_runs = index_runs(cur_doc, args.current)
+    for name in base_runs:
+        if name not in cur_runs:
+            cmp.diffs.append(f"run {name!r}: missing in current")
+    for name in cur_runs:
+        if name not in base_runs:
+            cmp.diffs.append(f"run {name!r}: not in baseline")
+    for name in base_runs:
+        if name in cur_runs:
+            cmp.compare(base_runs[name], cur_runs[name], name)
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            if cmp.diffs:
+                f.write(f"{len(cmp.diffs)} difference(s) vs "
+                        f"{args.baseline}:\n")
+                for d in cmp.diffs:
+                    f.write(d + "\n")
+            else:
+                f.write(f"no differences vs {args.baseline}\n")
+
+    if cmp.diffs:
+        print(f"{args.current}: {len(cmp.diffs)} difference(s) vs "
+              f"{args.baseline}", file=sys.stderr)
+        for d in cmp.diffs:
+            print(f"  {d}", file=sys.stderr)
+        print("if intentional, regenerate the baseline in this PR "
+              "(see docs/OBSERVABILITY.md)", file=sys.stderr)
+        return 1
+    print(f"{args.current}: matches {args.baseline} "
+          f"({len(base_runs)} runs, tol {args.default_tol:g} on cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,14 @@
 #!/usr/bin/env python3
-"""Validates a gamma.bench.v1 document produced by a bench binary's
---json=<file> mode. Exits non-zero (with a message per problem) when the
-document deviates from the schema, so CI fails loudly instead of archiving
-a broken artifact. Stdlib only; also usable locally:
+"""Validates the versioned JSON documents the repo's tooling emits,
+dispatching on the document's `schema` field:
+
+  gamma.bench.v1       bench binaries' --json=<file> export
+  gamma.adaptivity.v1  gamma_cli --adaptivity-out audit
+  gamma.metrics.v1     gamma_cli --metrics-out counter time-series
+
+Exits non-zero (with a message per problem) when the document deviates
+from its schema, so CI fails loudly instead of archiving a broken
+artifact. Stdlib only; also usable locally:
 
     ./build/bench/bench_fig10_memory --json=out.json
     python3 tools/validate_bench_json.py out.json
@@ -54,6 +60,30 @@ COUNTER_KEYS = [
 ]
 
 
+# Whole-run totals a bench run embeds when it ran with an adaptivity
+# audit attached (see core::AdaptivitySummary).
+ADAPTIVITY_SUMMARY_KEYS = {
+    "extensions": (int, float),
+    "mean_unified_pages": (int, float),
+    "plan_cycles": (int, float),
+    "actual_access_cycles": (int, float),
+    "est_unified_cycles": (int, float),
+    "est_zerocopy_cycles": (int, float),
+    "regret_cycles": (int, float),
+}
+
+# Per-shadow counterfactual counters (see core::ShadowCounters).
+SHADOW_KEYS = {
+    "cycles": (int, float),
+    "um_page_faults": (int, float),
+    "um_page_hits": (int, float),
+    "um_migrated_bytes": (int, float),
+    "um_evictions": (int, float),
+    "zc_transactions": (int, float),
+    "zc_bytes": (int, float),
+}
+
+
 def fail(errors, msg):
     errors.append(msg)
 
@@ -91,6 +121,14 @@ def validate(doc):
         if isinstance(run.get("params"), dict):
             check_typed_keys(errors, run["params"], REQUIRED_PARAM_KEYS,
                              f"{ctx}.params")
+        adaptivity = run.get("adaptivity")
+        if adaptivity is not None:
+            if not isinstance(adaptivity, dict):
+                fail(errors, f"{ctx}.adaptivity: not an object")
+            else:
+                check_typed_keys(errors, adaptivity,
+                                 ADAPTIVITY_SUMMARY_KEYS,
+                                 f"{ctx}.adaptivity")
         counters = run.get("counters")
         if isinstance(counters, dict):
             for key in COUNTER_KEYS:
@@ -129,9 +167,100 @@ def validate(doc):
     return errors
 
 
+def validate_adaptivity(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    for key, want in {"placement": str, "page_bytes": (int, float),
+                      "capacity_pages": (int, float),
+                      "extensions": (int, float)}.items():
+        if not isinstance(doc.get(key), want):
+            fail(errors, f"missing or mistyped '{key}'")
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        fail(errors, "'totals' is missing or not an object")
+    else:
+        spec = {k: v for k, v in ADAPTIVITY_SUMMARY_KEYS.items()
+                if k not in ("extensions",)}
+        check_typed_keys(errors, totals, spec, "totals")
+        if totals.get("best_pure") not in ("unified", "zerocopy"):
+            fail(errors, "totals.best_pure must be 'unified' or 'zerocopy'")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return errors + ["'records' is missing or not an array"]
+    if isinstance(doc.get("extensions"), (int, float)):
+        if len(records) != doc["extensions"]:
+            fail(errors, f"'extensions' is {doc['extensions']} but there "
+                 f"are {len(records)} records")
+    for i, rec in enumerate(records):
+        ctx = f"records[{i}]"
+        if not isinstance(rec, dict):
+            fail(errors, f"{ctx}: not an object")
+            continue
+        check_typed_keys(
+            errors, rec,
+            {"extension": (int, float), "frontier_vertices": (int, float),
+             "planned_bytes": (int, float), "w_spatial": (int, float),
+             "unified_pages": (int, float),
+             "top_page_overlap": (int, float), "heat": dict,
+             "plan_cycles": (int, float), "actual": dict,
+             "est_unified": dict, "est_zerocopy": dict,
+             "regret_cycles": (int, float)}, ctx)
+        if rec.get("extension") != i + 1:
+            fail(errors, f"{ctx}: extension index is {rec.get('extension')}"
+                 f", want {i + 1}")
+        heat = rec.get("heat")
+        if isinstance(heat, dict):
+            check_typed_keys(
+                errors, heat,
+                {"nonzero_pages": (int, float), "max": (int, float),
+                 "mean_nonzero": (int, float), "histogram": list},
+                f"{ctx}.heat")
+        actual = rec.get("actual")
+        if isinstance(actual, dict):
+            for key in ["access_cycles"] + COUNTER_KEYS:
+                if key not in actual:
+                    fail(errors, f"{ctx}.actual: missing '{key}'")
+        for shadow in ("est_unified", "est_zerocopy"):
+            if isinstance(rec.get(shadow), dict):
+                check_typed_keys(errors, rec[shadow], SHADOW_KEYS,
+                                 f"{ctx}.{shadow}")
+    return errors
+
+
+def validate_metrics(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    columns = doc.get("columns")
+    if not isinstance(columns, list):
+        return ["'columns' is missing or not an array"]
+    for gauge in ("cycles", "unified_page_count",
+                  "adaptivity_regret_cycles"):
+        if gauge not in columns:
+            fail(errors, f"columns: missing gauge '{gauge}'")
+    for key in COUNTER_KEYS:
+        if key not in columns:
+            fail(errors, f"columns: missing counter '{key}'")
+    samples = doc.get("samples")
+    if not isinstance(samples, list):
+        return errors + ["'samples' is missing or not an array"]
+    for i, row in enumerate(samples):
+        if not isinstance(row, list) or len(row) != len(columns):
+            fail(errors, f"samples[{i}]: row width != len(columns)")
+    return errors
+
+
+VALIDATORS = {
+    "gamma.bench.v1": validate,
+    "gamma.adaptivity.v1": validate_adaptivity,
+    "gamma.metrics.v1": validate_metrics,
+}
+
+
 def main(argv):
     if len(argv) != 2:
-        print(f"usage: {argv[0]} <bench.json>", file=sys.stderr)
+        print(f"usage: {argv[0]} <file.json>", file=sys.stderr)
         return 2
     try:
         with open(argv[1], encoding="utf-8") as f:
@@ -139,15 +268,28 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as e:
         print(f"{argv[1]}: {e}", file=sys.stderr)
         return 1
-    errors = validate(doc)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    validator = VALIDATORS.get(schema)
+    if validator is None:
+        print(f"{argv[1]}: unknown schema {schema!r} "
+              f"(know: {sorted(VALIDATORS)})", file=sys.stderr)
+        return 1
+    errors = validator(doc)
     if errors:
         for msg in errors:
             print(f"{argv[1]}: {msg}", file=sys.stderr)
         return 1
-    n = len(doc["runs"])
-    skipped = sum(1 for r in doc["runs"] if r.get("skipped"))
-    print(f"{argv[1]}: OK — {n} runs ({skipped} skipped), "
-          f"binary {doc['binary']}")
+    if schema == "gamma.bench.v1":
+        n = len(doc["runs"])
+        skipped = sum(1 for r in doc["runs"] if r.get("skipped"))
+        print(f"{argv[1]}: OK — {n} runs ({skipped} skipped), "
+              f"binary {doc['binary']}")
+    elif schema == "gamma.adaptivity.v1":
+        print(f"{argv[1]}: OK — {len(doc['records'])} extension records, "
+              f"placement {doc.get('placement')}")
+    else:
+        print(f"{argv[1]}: OK — {len(doc['samples'])} samples, "
+              f"{len(doc['columns'])} columns")
     return 0
 
 
