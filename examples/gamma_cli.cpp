@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "algos/fpm.h"
@@ -54,6 +55,9 @@ struct CliOptions {
   std::string adaptivity_out;
   std::size_t trace_capacity = 0;  // 0 = keep the default
   double metrics_interval = 100000;
+  bool check = false;
+  std::string check_list;  // empty = all checkers
+  std::string check_out;
 };
 
 void Usage() {
@@ -95,7 +99,13 @@ void Usage() {
       "                     decision, actual traffic, and counterfactual\n"
       "                     unified-only / zerocopy-only shadow costs\n"
       "                     (host placements only; also enables the\n"
-      "                     --stats adaptivity summary line)");
+      "                     --stats adaptivity summary line)\n"
+      "  --check[=LIST]     run under gpusim-check (the compute-sanitizer\n"
+      "                     analog); LIST is a comma-separated subset of\n"
+      "                     memcheck,initcheck,racecheck (default all).\n"
+      "                     Prints a report and exits 2 on any finding\n"
+      "  --check-out F      write the gamma.check.v1 report JSON to F\n"
+      "                     (implies --check)");
 }
 
 bool Parse(int argc, char** argv, CliOptions* o) {
@@ -152,6 +162,14 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->metrics_interval = std::strtod(next(), nullptr);
     } else if (a == "--adaptivity-out") {
       o->adaptivity_out = next();
+    } else if (a == "--check") {
+      o->check = true;
+    } else if (a.rfind("--check=", 0) == 0) {
+      o->check = true;
+      o->check_list = a.substr(std::strlen("--check="));
+    } else if (a == "--check-out") {
+      o->check = true;
+      o->check_out = next();
     } else if (a == "--help" || a == "-h") {
       Usage();
       return false;
@@ -228,14 +246,28 @@ int main(int argc, char** argv) {
   if (!o.metrics_out.empty()) {
     device.metrics().set_interval_cycles(o.metrics_interval);
   }
-  core::GammaEngine engine(&device, &g, FrameworkOptions(o));
-  if (Status st = engine.Prepare(); !st.ok()) {
+  if (o.check) {
+    gpusim::Sanitizer::Options copts;
+    if (!gpusim::Sanitizer::ParseCheckList(o.check_list, &copts)) {
+      std::fprintf(stderr,
+                   "--check: bad checker list '%s' (want a comma-separated "
+                   "subset of memcheck,initcheck,racecheck)\n",
+                   o.check_list.c_str());
+      return 1;
+    }
+    device.EnableSanitizer(copts);
+  }
+  // Held in a unique_ptr so the leak sweep below can run after the engine
+  // (and every DeviceBuffer it owns) has been destroyed.
+  auto engine =
+      std::make_unique<core::GammaEngine>(&device, &g, FrameworkOptions(o));
+  if (Status st = engine->Prepare(); !st.ok()) {
     std::fprintf(stderr, "prepare: %s\n", st.ToString().c_str());
     return 1;
   }
 
   if (o.task == "kcl") {
-    auto r = algos::CountKCliques(&engine, o.k);
+    auto r = algos::CountKCliques(engine.get(), o.k);
     if (!r.ok()) {
       std::fprintf(stderr, "kcl: %s\n", r.status().ToString().c_str());
       return 1;
@@ -257,8 +289,8 @@ int main(int argc, char** argv) {
       q = graph::Pattern::SmQuery(o.query, g.num_labels());
     }
     std::printf("query: %s\n", q.DebugString().c_str());
-    auto r = o.symmetric ? algos::MatchWojSymmetric(&engine, q)
-                         : algos::MatchWoj(&engine, q);
+    auto r = o.symmetric ? algos::MatchWojSymmetric(engine.get(), q)
+                         : algos::MatchWoj(engine.get(), q);
     if (!r.ok()) {
       std::fprintf(stderr, "sm: %s\n", r.status().ToString().c_str());
       return 1;
@@ -270,7 +302,7 @@ int main(int argc, char** argv) {
   } else if (o.task == "fpm") {
     uint64_t minsup = o.minsup ? o.minsup : g.num_edges() / 10;
     auto r = algos::MineFrequentPatterns(
-        &engine, {.max_edges = o.fpm_edges, .min_support = minsup});
+        engine.get(), {.max_edges = o.fpm_edges, .min_support = minsup});
     if (!r.ok()) {
       std::fprintf(stderr, "fpm: %s\n", r.status().ToString().c_str());
       return 1;
@@ -287,7 +319,7 @@ int main(int argc, char** argv) {
                   e.exemplar.DebugString().c_str());
     }
   } else if (o.task == "motif") {
-    auto r = algos::CountMotifs(&engine, o.k);
+    auto r = algos::CountMotifs(engine.get(), o.k);
     if (!r.ok()) {
       std::fprintf(stderr, "motif: %s\n", r.status().ToString().c_str());
       return 1;
@@ -324,8 +356,8 @@ int main(int argc, char** argv) {
     std::printf("peak device: %.2f MiB, peak host: %.2f MiB\n",
                 device.PeakDeviceBytes() / 1048576.0,
                 device.host_tracker().peak_bytes() / 1048576.0);
-    if (engine.audit() != nullptr) {
-      core::AdaptivitySummary s = engine.audit()->Summary();
+    if (engine->audit() != nullptr) {
+      core::AdaptivitySummary s = engine->audit()->Summary();
       std::printf(
           "adaptivity: %llu extensions, mean N_u %.1f pages, "
           "regret %+.0f cycles vs best pure (%s)\n",
@@ -382,7 +414,7 @@ int main(int argc, char** argv) {
                 device.metrics().interval_cycles());
   }
   if (!o.adaptivity_out.empty()) {
-    if (engine.audit() == nullptr) {
+    if (engine->audit() == nullptr) {
       std::fprintf(stderr,
                    "--adaptivity-out: placement %s has no host-memory "
                    "traffic to audit\n",
@@ -395,9 +427,38 @@ int main(int argc, char** argv) {
                    o.adaptivity_out.c_str());
       return 1;
     }
-    out << engine.audit()->ToJson();
+    out << engine->audit()->ToJson();
     std::printf("adaptivity audit written to %s (%zu extension records)\n",
-                o.adaptivity_out.c_str(), engine.audit()->records().size());
+                o.adaptivity_out.c_str(), engine->audit()->records().size());
+  }
+  if (o.check) {
+    // Tear the engine down first so buffers it still owns are released and
+    // the leak sweep only reports real leaks.
+    engine.reset();
+    gpusim::Sanitizer* san = device.sanitizer();
+    san->FinalizeLeakCheck();
+    if (!o.check_out.empty()) {
+      std::ofstream out(o.check_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     o.check_out.c_str());
+        return 1;
+      }
+      out << san->ToJson();
+      std::printf("check report written to %s\n", o.check_out.c_str());
+    }
+    if (!san->findings().empty()) {
+      std::fputs(san->ReportText().c_str(), stderr);
+      return 2;
+    }
+    std::printf(
+        "gpusim-check: clean (%llu device, %llu unified, %llu bulk "
+        "accesses; %llu allocs, %llu frees checked)\n",
+        static_cast<unsigned long long>(san->activity().device_accesses),
+        static_cast<unsigned long long>(san->activity().unified_accesses),
+        static_cast<unsigned long long>(san->activity().bulk_accesses),
+        static_cast<unsigned long long>(san->activity().allocations),
+        static_cast<unsigned long long>(san->activity().frees));
   }
   return 0;
 }

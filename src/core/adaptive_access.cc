@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "core/adaptivity_audit.h"
+#include "gpusim/sanitizer.h"
 
 namespace gpm::core {
 
@@ -45,6 +46,13 @@ Status GraphAccessor::Prepare() {
       auto buf = gpusim::DeviceBuffer::Make(&device_->memory(), bytes);
       if (!buf.ok()) return buf.status();
       device_csr_ = std::move(buf).value();
+      if (gpusim::Sanitizer* san = device_->sanitizer()) {
+        san->LabelObject(device_csr_.id(), "device-csr");
+        // The upload below materializes the whole CSR; mark it initialized
+        // up front rather than modelling the copy as a write (which would
+        // pin a default-stream access into the race history).
+        san->MarkInitialized(device_csr_.id());
+      }
       device_->CopyHostToDevice(bytes);
       break;
     }
@@ -182,8 +190,10 @@ void GraphAccessor::ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
   if (options_.placement == GraphPlacement::kDeviceResident ||
       options_.placement == GraphPlacement::kExplicitTransfer) {
     // Explicit transfer staged the frontier to device memory up front, so
-    // kernel reads hit device memory directly.
-    warp.DeviceRead(bytes);
+    // kernel reads hit device memory directly. device_csr_.id() is 0 for
+    // explicit transfer (no persistent CSR buffer), which skips the
+    // sanitizer attribution.
+    warp.DeviceRead(device_csr_.id(), offset, bytes);
     return;
   }
   // Graph spans are replayed into the counterfactual shadow models here,
@@ -236,7 +246,8 @@ graph::Edge GraphAccessor::ReadEdgeEndpoints(gpusim::WarpCtx& warp,
                                              graph::EdgeId e) {
   GAMMA_CHECK(e < graph_->edge_list().size()) << "edge id out of range";
   if (options_.placement == GraphPlacement::kDeviceResident) {
-    warp.DeviceRead(sizeof(uint64_t));
+    warp.DeviceRead(device_csr_.id(), e * sizeof(uint64_t),
+                    sizeof(uint64_t));
   } else {
     warp.UnifiedRead(edges_packed_.region(), e * sizeof(uint64_t),
                      sizeof(uint64_t));
@@ -247,7 +258,8 @@ graph::Edge GraphAccessor::ReadEdgeEndpoints(gpusim::WarpCtx& warp,
 graph::Label GraphAccessor::ReadLabel(gpusim::WarpCtx& warp,
                                       graph::VertexId v) {
   if (options_.placement == GraphPlacement::kDeviceResident) {
-    warp.DeviceRead(sizeof(graph::Label));
+    warp.DeviceRead(device_csr_.id(), v * sizeof(graph::Label),
+                    sizeof(graph::Label));
   } else {
     // Labels are dense and heavily reused; they live in the unified space
     // and compete for the page buffer like everything else.
@@ -302,7 +314,9 @@ void GraphAccessor::ChargeEdgeEndpointsBatch(gpusim::WarpCtx& warp,
 uint32_t GraphAccessor::ReadDegree(gpusim::WarpCtx& warp,
                                    graph::VertexId v) {
   if (options_.placement == GraphPlacement::kDeviceResident) {
-    warp.DeviceRead(2 * sizeof(uint64_t));
+    // Two adjacent row-pointer entries give the degree.
+    warp.DeviceRead(device_csr_.id(), v * sizeof(uint64_t),
+                    2 * sizeof(uint64_t));
   } else {
     warp.ZeroCopyRead(2 * sizeof(uint64_t));
   }

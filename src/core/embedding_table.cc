@@ -1,8 +1,10 @@
 #include "core/embedding_table.h"
 
 #include <sstream>
+#include <string>
 
 #include "common/logging.h"
+#include "gpusim/sanitizer.h"
 
 namespace gpm::core {
 
@@ -24,7 +26,15 @@ Status EmbeddingTable::AppendColumn(std::vector<Unit> units,
     std::size_t bytes = units.size() * (sizeof(Unit) + sizeof(RowIndex));
     auto buf = gpusim::DeviceBuffer::Make(&device_->memory(), bytes);
     if (!buf.ok()) return buf.status();
-    device_columns_.push_back(std::move(buf).value());
+    gpusim::DeviceBuffer dbuf = std::move(buf).value();
+    if (gpusim::Sanitizer* san = device_->sanitizer()) {
+      san->LabelObject(dbuf.id(),
+                       "et-column-" + std::to_string(columns_.size()));
+      // The column is materialized with its data: the flush that filled it
+      // is the pool's business, not a read-before-write hazard here.
+      san->MarkInitialized(dbuf.id());
+    }
+    device_columns_.push_back(std::move(dbuf));
   }
   auto col = std::make_unique<Column>(device_);
   col->units.Assign(std::move(units));
@@ -63,7 +73,9 @@ void EmbeddingTable::ChargeColumnRead(gpusim::WarpCtx& warp, int col,
                                       std::size_t count) const {
   const Column& c = *columns_[col];
   if (device_resident_) {
-    warp.DeviceRead(count * (sizeof(Unit) + sizeof(RowIndex)));
+    constexpr std::size_t kEntryBytes = sizeof(Unit) + sizeof(RowIndex);
+    warp.DeviceRead(device_columns_[col].id(), first * kEntryBytes,
+                    count * kEntryBytes);
   } else {
     warp.UnifiedRead(c.units.region(), first * sizeof(Unit),
                      count * sizeof(Unit));

@@ -174,7 +174,8 @@ Result<ExtensionStats> RunExtension(
     std::size_t chunk_tasks = chunk_end - chunk_begin;
     const std::size_t half = stats.chunks % 2;
     ++stats.chunks;
-    if (async && flush_done[half].valid()) {
+    if (async && flush_done[half].valid() &&
+        !options.unsafe_skip_buffer_guard) {
       // The buffer half this chunk writes into is still flushing; the
       // compute stream stalls until the copy stream releases it.
       device->WaitEvent(compute_stream, flush_done[half]);

@@ -65,6 +65,13 @@ struct ExtensionOptions {
   /// embedding table is only needed when a further extension or
   /// aggregation will read it.
   bool count_only = false;
+  /// Fault injection for the sanitizer's racecheck tests: skips the event
+  /// wait that guards buffer-half reuse in the double-buffered pipeline,
+  /// recreating the bug class the guard exists to prevent (compute stream
+  /// writes a half whose flush is still in flight on the copy stream).
+  /// Never set outside tests; results stay correct (the simulation is
+  /// functional), only the simulated ordering becomes unsound.
+  bool unsafe_skip_buffer_guard = false;
 };
 
 /// Outcome of one extension primitive call.

@@ -1,17 +1,18 @@
 #include "core/memory_pool.h"
 
 #include "common/logging.h"
+#include "gpusim/sanitizer.h"
 
 namespace gpm::core {
 
 MemoryPool::MemoryPool(gpusim::Device* device, const Options& options)
     : device_(device), options_(options) {
-  const std::size_t writable_bytes =
+  writable_bytes_ =
       options_.double_buffered ? options_.pool_bytes / 2 : options_.pool_bytes;
   GAMMA_CHECK(options_.block_bytes > 0 &&
-              writable_bytes >= options_.block_bytes)
+              writable_bytes_ >= options_.block_bytes)
       << "pool must hold at least one block";
-  blocks_total_ = writable_bytes / options_.block_bytes;
+  blocks_total_ = writable_bytes_ / options_.block_bytes;
 }
 
 Status MemoryPool::Reserve() {
@@ -19,6 +20,9 @@ Status MemoryPool::Reserve() {
                                         options_.pool_bytes);
   if (!buf.ok()) return buf.status();
   reservation_ = std::move(buf).value();
+  if (gpusim::Sanitizer* san = device_->sanitizer()) {
+    san->LabelObject(reservation_.id(), "memory-pool");
+  }
   return Status::Ok();
 }
 
@@ -33,6 +37,14 @@ void MemoryPool::GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
     // compute (it is PCIe traffic, folded into the kernel's link term);
     // the requesting warp pays the synchronization latency.
     std::size_t bytes = dirty_bytes_;
+    if (gpusim::Sanitizer* san = device_->sanitizer();
+        san != nullptr && reservation_.valid()) {
+      // The drain reads every handed-out block of the writable half, from
+      // inside the running kernel (shares its stream/epoch).
+      san->OnKernelBulkAccess(reservation_.id(), ActiveHalfBase(),
+                              blocks_handed_out_ * options_.block_bytes,
+                              /*is_write=*/false, "pool-drain");
+    }
     device_->stats().explicit_d2h_bytes += bytes;
     warp.ChargeCompute(device_->params().pcie_latency_cycles);
     warp.ChargeBlockSync();
@@ -41,6 +53,8 @@ void MemoryPool::GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
     blocks_handed_out_ = 0;
     ++mid_kernel_flushes_;
   }
+  cursor->write_offset =
+      ActiveHalfBase() + blocks_handed_out_ * options_.block_bytes;
   ++blocks_handed_out_;
   cursor->remaining_entries = options_.block_bytes / entry_bytes;
   cursor->owns_block = true;
@@ -56,7 +70,9 @@ void MemoryPool::WarpWrite(gpusim::WarpCtx& warp, WarpCursor* cursor,
     // Intra-warp positions come from a warp-level prefix scan (free SIMT
     // sync); the write itself is coalesced into the block.
     warp.ChargeWarpScan();
-    warp.DeviceWrite(take * entry_bytes);
+    warp.DeviceWrite(reservation_.id(), cursor->write_offset,
+                     take * entry_bytes);
+    cursor->write_offset += take * entry_bytes;
     dirty_bytes_ += take * entry_bytes;
     cursor->remaining_entries -= take;
     count -= take;
@@ -73,9 +89,23 @@ void MemoryPool::EndWarpTask(WarpCursor* cursor) {
 
 std::size_t MemoryPool::FlushToHost(gpusim::StreamId stream) {
   std::size_t bytes = dirty_bytes_;
-  if (bytes > 0) device_->CopyDeviceToHostAsync(stream, bytes);
+  if (bytes > 0) {
+    if (gpusim::Sanitizer* san = device_->sanitizer();
+        san != nullptr && reservation_.valid()) {
+      // The flush reads the handed-out blocks of the half being flushed —
+      // this is the access the racecheck compares against the next chunk's
+      // writes when the pipeline reuses the half too early.
+      san->OnBulkAccess(stream, reservation_.id(), ActiveHalfBase(),
+                        blocks_handed_out_ * options_.block_bytes,
+                        /*is_write=*/false, "pool-flush");
+    }
+    device_->CopyDeviceToHostAsync(stream, bytes);
+  }
   dirty_bytes_ = 0;
   blocks_handed_out_ = 0;
+  // The flushed half now belongs to the in-flight copy; new blocks come
+  // from the other half until the next flush.
+  if (options_.double_buffered) active_half_ ^= 1;
   return bytes;
 }
 

@@ -41,6 +41,9 @@ class MemoryPool {
   struct WarpCursor {
     std::size_t remaining_entries = 0;
     bool owns_block = false;
+    /// Byte offset within the pool reservation where the warp's next write
+    /// lands. Pure sanitizer attribution — maintained, never charged.
+    std::size_t write_offset = 0;
   };
 
   /// Simulates the warp writing `count` entries of `entry_bytes` each.
@@ -60,17 +63,26 @@ class MemoryPool {
   std::size_t blocks_total() const { return blocks_total_; }
   std::size_t mid_kernel_flushes() const { return mid_kernel_flushes_; }
 
+  /// Which half of a double-buffered pool is writable right now (always 0
+  /// when not double-buffered). FlushToHost hands the flushed half to the
+  /// copy stream and toggles.
+  std::size_t active_half() const { return active_half_; }
+
  private:
   void GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
                  std::size_t entry_bytes);
+  /// Byte offset of the writable half within the reservation.
+  std::size_t ActiveHalfBase() const { return active_half_ * writable_bytes_; }
 
   gpusim::Device* device_;
   Options options_;
   gpusim::DeviceBuffer reservation_;
+  std::size_t writable_bytes_ = 0;
   std::size_t blocks_total_ = 0;
   std::size_t blocks_handed_out_ = 0;  // since last flush
   std::size_t dirty_bytes_ = 0;        // written since last flush
   std::size_t mid_kernel_flushes_ = 0;
+  std::size_t active_half_ = 0;
 };
 
 }  // namespace gpm::core

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "gpusim/sanitizer.h"
 
 namespace gpm::core {
 namespace {
@@ -23,6 +24,16 @@ double ChargeSegmentSort(gpusim::Device* device, std::size_t elems,
                          gpusim::StreamId stream = gpusim::kDefaultStream) {
   if (elems == 0) return 0;
   double cycles = 0;
+  // The staging buffer is charged conceptually (the simulator holds the
+  // keys in host vectors); a shadow-only scratch gives the sanitizer an
+  // allocation to bounds-check the kernel's accesses against. No-op when
+  // no sanitizer is attached.
+  gpusim::SanitizerScratch scratch(device, "sort-segment-buffer",
+                                   elems * kKeyBytes);
+  if (gpusim::Sanitizer* san = device->sanitizer()) {
+    san->OnBulkAccess(stream, scratch.handle(), 0, elems * kKeyBytes,
+                      /*is_write=*/true, "sort-h2d");
+  }
   cycles += device->CopyHostToDeviceAsync(stream, elems * kKeyBytes);
   const std::size_t kElemsPerTask = 4096;
   std::size_t tasks = (elems + kElemsPerTask - 1) / kElemsPerTask;
@@ -31,12 +42,16 @@ double ChargeSegmentSort(gpusim::Device* device, std::size_t elems,
                                       [&](gpusim::WarpCtx& w, std::size_t t) {
     std::size_t lo = t * kElemsPerTask;
     std::size_t n = std::min(elems, lo + kElemsPerTask) - lo;
-    w.DeviceRead(n * kKeyBytes);
+    w.DeviceRead(scratch.handle(), lo * kKeyBytes, n * kKeyBytes);
     // Bitonic/merge network: log^2(n) passes over the task's share.
     w.ChargeSimtWork(n, log_n * log_n * 0.5);
-    w.DeviceWrite(n * kKeyBytes);
+    w.DeviceWrite(scratch.handle(), lo * kKeyBytes, n * kKeyBytes);
   },
   "sort-segment");
+  if (gpusim::Sanitizer* san = device->sanitizer()) {
+    san->OnBulkAccess(stream, scratch.handle(), 0, elems * kKeyBytes,
+                      /*is_write=*/false, "sort-d2h");
+  }
   cycles += device->CopyDeviceToHostAsync(stream, elems * kKeyBytes);
   return cycles;
 }

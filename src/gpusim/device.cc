@@ -1,5 +1,8 @@
 #include "gpusim/device.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.h"
 
 namespace gpm::gpusim {
@@ -21,6 +24,59 @@ Device::Device(SimParams params)
         << buf.status().ToString();
     um_buffer_reservation_ = std::move(buf).value();
   }
+  // GPUSIM_CHECK=1 (or a memcheck,initcheck,racecheck subset) arms the
+  // sanitizer on every Device, with abort-on-finding so whole test suites
+  // fail loudly under it. Enabled last so the UM page-buffer reservation is
+  // baseline state, not a reportable leak.
+  if (const char* env = std::getenv("GPUSIM_CHECK");
+      env != nullptr && env[0] != '\0') {
+    Sanitizer::Options opts;
+    if (Sanitizer::ParseCheckList(env, &opts)) {
+      opts.abort_on_finding = true;
+      EnableSanitizer(opts);
+    } else {
+      std::fprintf(stderr,
+                   "gpusim-check: ignoring unparsable GPUSIM_CHECK=\"%s\"\n",
+                   env);
+    }
+  }
+}
+
+Device::~Device() {
+  if (sanitizer_ == nullptr) return;
+  // Last chance to sweep for leaks (idempotent if the CLI already ran it).
+  // Whatever this Device still owns itself is baseline, so only buffers the
+  // engine/user code failed to release are reported.
+  sanitizer_->FinalizeLeakCheck();
+  if (!sanitizer_->findings().empty() &&
+      sanitizer_->options().abort_on_finding) {
+    std::fputs(sanitizer_->ReportText().c_str(), stderr);
+    std::abort();
+  }
+  // Detach before members are destroyed: the UM reservation frees itself
+  // through memory_ after this body runs.
+  memory_.set_sanitizer(nullptr);
+  unified_.set_sanitizer(nullptr);
+  sanitizer_.reset();
+}
+
+void Device::EnableSanitizer(Sanitizer::Options options) {
+  sanitizer_ = std::make_unique<Sanitizer>(options);
+  sanitizer_->BindClock(&clock_cycles_);
+  memory_.set_sanitizer(sanitizer_.get());
+  unified_.set_sanitizer(sanitizer_.get());
+  // Everything that predates the sanitizer is baseline: treated as
+  // initialized (we never saw the writes) and exempt from the leak sweep
+  // (we cannot tell who owns it).
+  for (const auto& [id, bytes] : memory_.allocations()) {
+    sanitizer_->OnAlloc(id, bytes, /*baseline=*/true);
+  }
+  for (const auto& [region, bytes] : unified_.region_sizes()) {
+    sanitizer_->OnRegionRegister(region, bytes, /*baseline=*/true);
+  }
+  if (um_buffer_reservation_.valid()) {
+    sanitizer_->LabelObject(um_buffer_reservation_.id(), "um-page-buffer");
+  }
 }
 
 StreamId Device::WorkerStream(int i) {
@@ -33,6 +89,7 @@ StreamId Device::WorkerStream(int i) {
 
 double Device::CopyHostToDeviceAsync(StreamId stream, std::size_t bytes) {
   stats_.explicit_h2d_bytes += bytes;
+  if (sanitizer_ != nullptr) sanitizer_->OnCommand(stream);
   const double start = streams_.cycles(stream);
   const double ready = start + params_.pcie_latency_cycles;
   const double end = streams_.AcquireLink(
@@ -49,6 +106,7 @@ double Device::CopyHostToDeviceAsync(StreamId stream, std::size_t bytes) {
 
 double Device::CopyDeviceToHostAsync(StreamId stream, std::size_t bytes) {
   stats_.explicit_d2h_bytes += bytes;
+  if (sanitizer_ != nullptr) sanitizer_->OnCommand(stream);
   const double start = streams_.cycles(stream);
   const double ready = start + params_.pcie_latency_cycles;
   const double end = streams_.AcquireLink(

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <utility>
@@ -13,6 +14,7 @@
 #include "gpusim/device_memory.h"
 #include "gpusim/metrics.h"
 #include "gpusim/profile.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/stats.h"
 #include "gpusim/stream.h"
@@ -42,6 +44,9 @@ namespace gpm::gpusim {
 class Device {
  public:
   explicit Device(SimParams params = SimParams());
+  /// Runs the sanitizer's end-of-life leak sweep (and, in GPUSIM_CHECK
+  /// abort-on-finding mode, prints the report and aborts on any finding).
+  ~Device();
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -82,6 +87,19 @@ class Device {
   }
   AccessObserver* access_observer() const { return access_observer_; }
 
+  /// Attaches a gpusim-check sanitizer (memcheck/initcheck/racecheck; see
+  /// docs/SANITIZER.md), replacing any previous one — including the
+  /// GPUSIM_CHECK env-var instance, whose abort-on-finding mode is thereby
+  /// cleared for tests that inject faults deliberately. Everything already
+  /// allocated is shadowed as baseline state: treated as initialized and
+  /// exempt from the leak sweep. The sanitizer is pure shadow state and
+  /// never perturbs cycles or DeviceStats.
+  void EnableSanitizer(Sanitizer::Options options);
+
+  /// The attached checker, or nullptr (the common case: zero overhead when
+  /// off beyond this pointer test at attributed call sites).
+  Sanitizer* sanitizer() const { return sanitizer_.get(); }
+
   /// Latest adaptivity readings, sampled into gamma.metrics.v1 as the
   /// `unified_page_count` / `adaptivity_regret_cycles` gauges. The hybrid
   /// accessor updates the page count at every plan; the audit (when
@@ -115,24 +133,33 @@ class Device {
   }
 
   /// Captures `stream`'s current position as a joinable timestamp.
-  Event RecordEvent(StreamId stream) const { return streams_.Record(stream); }
+  Event RecordEvent(StreamId stream) {
+    Event e = streams_.Record(stream);
+    if (sanitizer_ != nullptr) e.san_seq_ = sanitizer_->OnEventRecord(stream);
+    return e;
+  }
 
   /// Stalls `stream` until `event` (no-op for never-recorded events).
   void WaitEvent(StreamId stream, const Event& event) {
     streams_.Wait(stream, event);
     clock_cycles_ = streams_.now_cycles();
+    if (sanitizer_ != nullptr) sanitizer_->OnEventWait(stream, event.san_seq_);
   }
 
   /// Joins every stream (cudaDeviceSynchronize); returns the join point.
   double Synchronize() {
     clock_cycles_ = streams_.Synchronize();
     metrics_.MaybeSample(*this);
+    if (sanitizer_ != nullptr) sanitizer_->OnSynchronize();
     return clock_cycles_;
   }
 
   /// Advances an idle stream to "now" so its next command follows
   /// everything already submitted (start of an async phase).
-  void FastForwardStream(StreamId stream) { streams_.FastForward(stream); }
+  void FastForwardStream(StreamId stream) {
+    streams_.FastForward(stream);
+    if (sanitizer_ != nullptr) sanitizer_->OnFastForward(stream);
+  }
 
   /// Total simulated time since construction (cycles / seconds / ms): the
   /// join of all stream clocks.
@@ -242,6 +269,10 @@ class Device {
                            const char* name = "kernel") {
     ++stats_.kernel_launches;
     stats_.warp_tasks += num_tasks;
+    // The kernel is one command on `stream`: the sanitizer bumps the
+    // stream's epoch and attributes warp accesses to this kernel until
+    // EndKernel.
+    if (sanitizer_ != nullptr) sanitizer_->BeginKernel(stream, name);
     const double start_cycles = streams_.cycles(stream);
 
     const int slots = std::max(1, params_.num_warp_slots);
@@ -277,6 +308,7 @@ class Device {
         }
       }
     }
+    if (sanitizer_ != nullptr) sanitizer_->EndKernel();
     double makespan = 0.0;
     while (!finish.empty()) {
       makespan = finish.top().first;
@@ -329,6 +361,7 @@ class Device {
   TraceRecorder trace_recorder_;
   MetricsSampler metrics_;
   DeviceBuffer um_buffer_reservation_;
+  std::unique_ptr<Sanitizer> sanitizer_;
   AccessObserver* access_observer_ = nullptr;
   AdaptivityGauges adaptivity_gauges_;
   StreamSet streams_;

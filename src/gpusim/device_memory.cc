@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "gpusim/sanitizer.h"
 
 namespace gpm::gpusim {
 
@@ -17,14 +18,23 @@ Result<DeviceMemory::AllocId> DeviceMemory::Allocate(std::size_t bytes) {
   if (used_ > peak_used_) peak_used_ = used_;
   AllocId id = next_id_++;
   allocations_.emplace(id, bytes);
+  if (sanitizer_ != nullptr) sanitizer_->OnAlloc(id, bytes);
   return id;
 }
 
 void DeviceMemory::Free(AllocId id) {
   auto it = allocations_.find(id);
-  GAMMA_CHECK(it != allocations_.end()) << "free of unknown device alloc";
+  if (it == allocations_.end()) {
+    if (sanitizer_ != nullptr) {
+      // Recoverable under the checker: becomes a double-free finding.
+      sanitizer_->OnBadFree(id);
+      return;
+    }
+    GAMMA_CHECK(false) << "free of unknown device alloc";
+  }
   used_ -= it->second;
   allocations_.erase(it);
+  if (sanitizer_ != nullptr) sanitizer_->OnFree(id);
 }
 
 Status DeviceMemory::Resize(AllocId id, std::size_t new_bytes) {
@@ -42,6 +52,7 @@ Status DeviceMemory::Resize(AllocId id, std::size_t new_bytes) {
     used_ -= old_bytes - new_bytes;
   }
   it->second = new_bytes;
+  if (sanitizer_ != nullptr) sanitizer_->OnResize(id, new_bytes);
   return Status::Ok();
 }
 

@@ -9,6 +9,8 @@
 
 namespace gpm::gpusim {
 
+class Sanitizer;
+
 /// Capacity-enforcing device memory allocator.
 ///
 /// The simulator does not keep a separate physical buffer for device memory
@@ -30,7 +32,10 @@ class DeviceMemory {
   /// the request does not fit.
   Result<AllocId> Allocate(std::size_t bytes);
 
-  /// Releases a prior allocation. CHECK-fails on unknown ids.
+  /// Releases a prior allocation. CHECK-fails on unknown ids — unless a
+  /// sanitizer is attached, which turns the bad free into a double-free /
+  /// invalid-free finding instead of aborting, so fault-injection tests can
+  /// observe it.
   void Free(AllocId id);
 
   /// Grows/shrinks an existing allocation in place (used by buffers that
@@ -43,12 +48,22 @@ class DeviceMemory {
   std::size_t available_bytes() const { return capacity_ - used_; }
   void ResetPeak() { peak_used_ = used_; }
 
+  /// Live allocations by id; Device::EnableSanitizer snapshots this to
+  /// shadow allocations that predate the sanitizer as baseline state.
+  const std::unordered_map<AllocId, std::size_t>& allocations() const {
+    return allocations_;
+  }
+
+  /// Mirrors every alloc/free/resize into the checker; nullptr detaches.
+  void set_sanitizer(Sanitizer* sanitizer) { sanitizer_ = sanitizer; }
+
  private:
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t peak_used_ = 0;
   AllocId next_id_ = 1;
   std::unordered_map<AllocId, std::size_t> allocations_;
+  Sanitizer* sanitizer_ = nullptr;
 };
 
 /// RAII handle for a device allocation; frees on destruction. Move-only.
@@ -62,11 +77,14 @@ class DeviceBuffer {
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
   DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
   DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this == &other) return *this;
     Release();
     mem_ = other.mem_;
     id_ = other.id_;
     bytes_ = other.bytes_;
     other.mem_ = nullptr;
+    other.id_ = 0;
+    other.bytes_ = 0;
     return *this;
   }
   ~DeviceBuffer() { Release(); }
@@ -77,6 +95,11 @@ class DeviceBuffer {
   bool valid() const { return mem_ != nullptr; }
   std::size_t bytes() const { return bytes_; }
 
+  /// The underlying allocation id, 0 for an empty/moved-from buffer. Used
+  /// to attribute warp accesses to this allocation under the sanitizer
+  /// (WarpCtx treats id 0 as "unattributed" and skips the check).
+  DeviceMemory::AllocId id() const { return id_; }
+
   /// Resizes the underlying allocation.
   Status Resize(std::size_t new_bytes);
 
@@ -85,6 +108,8 @@ class DeviceBuffer {
       mem_->Free(id_);
       mem_ = nullptr;
     }
+    id_ = 0;
+    bytes_ = 0;
   }
 
  private:

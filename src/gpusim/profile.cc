@@ -97,9 +97,13 @@ PhaseScope::PhaseScope(Device* device, RunProfile* profile, std::string name)
       profile_(profile),
       name_(std::move(name)),
       start_cycles_(device->now_cycles()),
-      start_stats_(device->stats().Snapshot()) {}
+      start_stats_(device->stats().Snapshot()) {
+  // The sanitizer attributes findings to the innermost open phase.
+  if (Sanitizer* san = device_->sanitizer()) san->PushPhase(name_);
+}
 
 PhaseScope::~PhaseScope() {
+  if (Sanitizer* san = device_->sanitizer()) san->PopPhase();
   // The timeline recorder gets the phase span even when no RunProfile is
   // attached — the two consumers are independent.
   if (device_->trace().enabled()) {

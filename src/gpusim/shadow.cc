@@ -1,0 +1,38 @@
+#include "gpusim/shadow.h"
+
+#include <algorithm>
+
+namespace gpm::gpusim {
+
+void ByteIntervalSet::Add(std::size_t start, std::size_t end) {
+  if (start >= end) return;
+  auto it = spans_.upper_bound(start);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      // Overlaps or touches the span ending at/after our start: absorb it.
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = spans_.erase(prev);
+    }
+  }
+  while (it != spans_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = spans_.erase(it);
+  }
+  spans_[start] = end;
+}
+
+std::size_t ByteIntervalSet::FirstGap(std::size_t start,
+                                      std::size_t end) const {
+  if (start >= end) return end;
+  auto it = spans_.upper_bound(start);
+  if (it == spans_.begin()) return start;
+  auto prev = std::prev(it);
+  if (prev->second <= start) return start;
+  // `prev` covers `start`; spans are disjoint and non-adjacent, so the byte
+  // right after it is uncovered unless it already reaches `end`.
+  return std::min(prev->second, end);
+}
+
+}  // namespace gpm::gpusim

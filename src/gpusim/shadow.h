@@ -1,0 +1,76 @@
+#ifndef GAMMA_GPUSIM_SHADOW_H_
+#define GAMMA_GPUSIM_SHADOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpm::gpusim {
+
+/// Coalescing set of half-open byte intervals [start, end).
+///
+/// The sanitizer's initcheck shadows which bytes of an allocation have ever
+/// been written. Simulated allocations reach multiple gigabytes, so the
+/// shadow is interval-based rather than a bitmap: writes are overwhelmingly
+/// sequential block/column fills, which coalesce into a handful of spans.
+class ByteIntervalSet {
+ public:
+  /// Marks [start, end) as covered, merging with adjacent/overlapping
+  /// spans. Empty ranges are ignored.
+  void Add(std::size_t start, std::size_t end);
+
+  /// True when every byte of [start, end) is covered (empty ranges are).
+  bool Covers(std::size_t start, std::size_t end) const {
+    return FirstGap(start, end) == end;
+  }
+
+  /// First uncovered byte in [start, end), or `end` when fully covered.
+  std::size_t FirstGap(std::size_t start, std::size_t end) const;
+
+  void Clear() { spans_.clear(); }
+  bool empty() const { return spans_.empty(); }
+  std::size_t interval_count() const { return spans_.size(); }
+
+ private:
+  // start -> end, disjoint and non-adjacent (Add merges touching spans).
+  std::map<std::size_t, std::size_t> spans_;
+};
+
+/// One remembered access to a shadowed object, for the racecheck's
+/// happens-before comparison against later accesses from other streams.
+struct ShadowAccess {
+  int stream = 0;
+  /// The issuing stream's vector-clock epoch at the time of the access.
+  uint64_t clock = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool is_write = false;
+  std::size_t task = 0;
+  /// Kernel name, or a copy tag like "pool-flush" for bulk transfers.
+  std::string context;
+};
+
+/// Shadow state of one simulated allocation, UM region, or scratch handle.
+struct ShadowObject {
+  uint64_t handle = 0;
+  std::string label;
+  std::size_t bytes = 0;
+  bool live = true;
+  /// Existed before the sanitizer attached: treated as initialized and
+  /// exempt from the leak sweep (mirrors compute-sanitizer attach-time
+  /// semantics).
+  bool baseline = false;
+  bool is_region = false;
+  ByteIntervalSet init;
+  std::vector<ShadowAccess> history;
+  /// Accesses evicted from `history` once it hit its cap; races against
+  /// evicted records can no longer be detected (best effort, like real
+  /// racecheck's bounded shadow memory).
+  std::size_t history_dropped = 0;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_SHADOW_H_

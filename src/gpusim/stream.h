@@ -2,6 +2,7 @@
 #define GAMMA_GPUSIM_STREAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace gpm::gpusim {
@@ -26,10 +27,15 @@ class Event {
 
  private:
   friend class StreamSet;
+  friend class Device;
   explicit Event(double cycles) : cycles_(cycles), valid_(true) {}
 
   double cycles_ = 0;
   bool valid_ = false;
+  // Sanitizer bookkeeping: sequence id of the vector-clock snapshot taken
+  // when the event was recorded (0 = recorded without a sanitizer attached).
+  // Stamped by Device::RecordEvent; carries no timing information.
+  uint64_t san_seq_ = 0;
 };
 
 /// Per-stream clocks plus the shared PCIe link of the simulated device.

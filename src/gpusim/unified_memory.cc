@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "gpusim/access_observer.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/trace.h"
 
 namespace gpm::gpusim {
@@ -27,6 +28,7 @@ void TracePage(TraceRecorder* trace, const double* now_cycles,
 UnifiedMemory::RegionId UnifiedMemory::Register(std::size_t bytes) {
   RegionId id = next_region_++;
   region_bytes_.emplace(id, bytes);
+  if (sanitizer_ != nullptr) sanitizer_->OnRegionRegister(id, bytes);
   return id;
 }
 
@@ -35,6 +37,7 @@ void UnifiedMemory::ResizeRegion(RegionId region, std::size_t new_bytes) {
   GAMMA_CHECK(it != region_bytes_.end()) << "resize of unknown UM region";
   std::size_t old_bytes = it->second;
   it->second = new_bytes;
+  if (sanitizer_ != nullptr) sanitizer_->OnRegionResize(region, new_bytes);
   if (observer_ != nullptr) {
     observer_->OnRegionResized(region, old_bytes, new_bytes);
   }

@@ -13,6 +13,7 @@
 namespace gpm::gpusim {
 
 class AccessObserver;
+class Sanitizer;
 class TraceRecorder;
 
 /// Charge produced by a memory access: warp stall cycles plus bytes that
@@ -60,6 +61,17 @@ class UnifiedMemory {
   void set_observer(AccessObserver* observer) { observer_ = observer; }
   AccessObserver* observer() const { return observer_; }
 
+  /// Mirrors region register/resize into the checker so it can bounds-check
+  /// unified reads; nullptr detaches. Like observers, the sanitizer never
+  /// alters charges.
+  void set_sanitizer(Sanitizer* sanitizer) { sanitizer_ = sanitizer; }
+
+  /// Registered regions by id; Device::EnableSanitizer snapshots this to
+  /// shadow regions that predate the sanitizer.
+  const std::unordered_map<RegionId, std::size_t>& region_sizes() const {
+    return region_bytes_;
+  }
+
   /// Registers a managed region of `bytes` bytes; returns its id.
   RegionId Register(std::size_t bytes);
 
@@ -102,6 +114,7 @@ class UnifiedMemory {
   const SimParams& params_;
   DeviceStats* stats_;
   AccessObserver* observer_ = nullptr;
+  Sanitizer* sanitizer_ = nullptr;
   TraceRecorder* trace_ = nullptr;
   const double* now_cycles_ = nullptr;
   std::size_t capacity_pages_;

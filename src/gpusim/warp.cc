@@ -4,6 +4,7 @@
 
 #include "gpusim/access_observer.h"
 #include "gpusim/device.h"
+#include "gpusim/sanitizer.h"
 
 namespace gpm::gpusim {
 
@@ -56,6 +57,24 @@ void WarpCtx::DeviceWrite(std::size_t bytes) {
              static_cast<double>(bytes) / p.device_bytes_per_cycle;
 }
 
+void WarpCtx::DeviceRead(DeviceMemory::AllocId alloc, std::size_t offset,
+                         std::size_t bytes) {
+  DeviceRead(bytes);
+  if (alloc == 0) return;
+  if (Sanitizer* san = device_->sanitizer()) {
+    san->OnWarpAccess(task_id_, alloc, offset, bytes, /*is_write=*/false);
+  }
+}
+
+void WarpCtx::DeviceWrite(DeviceMemory::AllocId alloc, std::size_t offset,
+                          std::size_t bytes) {
+  DeviceWrite(bytes);
+  if (alloc == 0) return;
+  if (Sanitizer* san = device_->sanitizer()) {
+    san->OnWarpAccess(task_id_, alloc, offset, bytes, /*is_write=*/true);
+  }
+}
+
 void WarpCtx::ZeroCopyRead(std::size_t bytes) {
   if (bytes == 0) return;
   const SimParams& p = device_->params();
@@ -80,6 +99,9 @@ void WarpCtx::ZeroCopyWrite(std::size_t bytes) {
 
 void WarpCtx::UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
                           std::size_t bytes) {
+  if (Sanitizer* san = device_->sanitizer()) {
+    san->OnUnifiedWarpAccess(task_id_, region, offset, bytes);
+  }
   AccessCharge charge = device_->unified().Access(region, offset, bytes);
   cycles_ += charge.cycles;
   if (charge.pcie_bytes > 0) AddPcieBytes(charge.pcie_bytes);

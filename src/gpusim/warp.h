@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "gpusim/device_memory.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/unified_memory.h"
 
@@ -61,6 +62,16 @@ class WarpCtx {
 
   /// Coalesced write of `bytes` to device memory.
   void DeviceWrite(std::size_t bytes);
+
+  /// Attributed variants: identical charge to the byte-only forms, plus —
+  /// when a sanitizer is attached — validation of [offset, offset+bytes)
+  /// against allocation `alloc`. `alloc` 0 means "unattributed" and skips
+  /// the check (e.g. a DeviceBuffer::id() of an invalid buffer), so call
+  /// sites never need their own sanitizer conditionals.
+  void DeviceRead(DeviceMemory::AllocId alloc, std::size_t offset,
+                  std::size_t bytes);
+  void DeviceWrite(DeviceMemory::AllocId alloc, std::size_t offset,
+                   std::size_t bytes);
 
   /// Read of `bytes` from host memory over zero-copy (128 B transactions).
   void ZeroCopyRead(std::size_t bytes);

@@ -77,6 +77,38 @@ TEST(DeviceBufferTest, MoveTransfersOwnership) {
   EXPECT_EQ(mem.used_bytes(), 0u);
 }
 
+TEST(DeviceBufferTest, MoveAssignEmptiesSource) {
+  DeviceMemory mem(1000);
+  auto a = DeviceBuffer::Make(&mem, 300);
+  auto b = DeviceBuffer::Make(&mem, 200);
+  ASSERT_TRUE(a.ok() && b.ok());
+  DeviceBuffer dst = std::move(a).value();
+  DeviceBuffer src = std::move(b).value();
+  dst = std::move(src);
+  // The moved-from buffer must be fully emptied: a stale id/bytes pair
+  // would double-free on destruction or misreport its size.
+  EXPECT_FALSE(src.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(src.bytes(), 0u);
+  EXPECT_EQ(src.id(), 0u);
+  EXPECT_TRUE(dst.valid());
+  EXPECT_EQ(dst.bytes(), 200u);
+  EXPECT_EQ(mem.used_bytes(), 200u);  // the 300-byte target was released
+  dst.Release();
+  EXPECT_EQ(mem.used_bytes(), 0u);
+}
+
+TEST(DeviceBufferTest, SelfMoveAssignIsSafe) {
+  DeviceMemory mem(1000);
+  auto buf = DeviceBuffer::Make(&mem, 400);
+  ASSERT_TRUE(buf.ok());
+  DeviceBuffer b = std::move(buf).value();
+  DeviceBuffer& alias = b;
+  b = std::move(alias);  // NOLINT(clang-diagnostic-self-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.bytes(), 400u);
+  EXPECT_EQ(mem.used_bytes(), 400u);
+}
+
 TEST(UnifiedMemoryTest, FaultThenHit) {
   SimParams p = SmallParams();
   DeviceStats stats;

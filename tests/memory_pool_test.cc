@@ -101,5 +101,68 @@ TEST(MemoryPoolTest, BlockSizeClampRespected) {
   EXPECT_EQ(pool.blocks_total(), 1u);
 }
 
+// -- DeviceMemory error paths ------------------------------------------------
+
+TEST(DeviceMemoryErrorTest, ResizeBeyondCapacityLeavesStateUntouched) {
+  gpusim::DeviceMemory mem(1000);
+  auto a = mem.Allocate(300);
+  auto b = mem.Allocate(500);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const std::size_t used_before = mem.used_bytes();
+  const std::size_t peak_before = mem.peak_used_bytes();
+  // Growing `a` to 600 needs 300 extra bytes but only 200 are free.
+  Status st = mem.Resize(a.value(), 600);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kDeviceOutOfMemory);
+  EXPECT_EQ(mem.used_bytes(), used_before);
+  EXPECT_EQ(mem.peak_used_bytes(), peak_before);
+  // The allocation is still usable at its original size.
+  EXPECT_TRUE(mem.Resize(a.value(), 200).ok());
+  EXPECT_EQ(mem.used_bytes(), 700u);
+  mem.Free(a.value());
+  mem.Free(b.value());
+}
+
+TEST(DeviceMemoryErrorTest, FreeOrderDoesNotDisturbPeakTracking) {
+  gpusim::DeviceMemory mem(1000);
+  auto a = mem.Allocate(400);
+  auto b = mem.Allocate(600);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(mem.peak_used_bytes(), 1000u);
+  // Free out of allocation order: peak must stay the high-water mark.
+  mem.Free(b.value());
+  EXPECT_EQ(mem.peak_used_bytes(), 1000u);
+  auto c = mem.Allocate(100);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(mem.peak_used_bytes(), 1000u);
+  mem.Free(a.value());
+  mem.Free(c.value());
+  EXPECT_EQ(mem.used_bytes(), 0u);
+  // ResetPeak rebases to the current (empty) usage.
+  mem.ResetPeak();
+  EXPECT_EQ(mem.peak_used_bytes(), 0u);
+}
+
+TEST(DeviceMemoryErrorTest, FailedPoolReserveUnwindsCleanly) {
+  gpusim::Device device(SmallParams());
+  device.EnableSanitizer(gpusim::Sanitizer::Options{});
+  // Claim most of the device so the pool reservation cannot fit.
+  auto hog = gpusim::DeviceBuffer::Make(&device.memory(), 900 << 10);
+  ASSERT_TRUE(hog.ok());
+  const std::size_t used_before = device.memory().used_bytes();
+  MemoryPool pool(&device, {.pool_bytes = 512 << 10, .block_bytes = 8192});
+  Status st = pool.Reserve();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), ErrorCode::kDeviceOutOfMemory);
+  // The failed reservation must not strand bytes or shadow state: usage is
+  // unchanged and the sanitizer's leak sweep stays clean once the
+  // remaining owner releases.
+  EXPECT_EQ(device.memory().used_bytes(), used_before);
+  hog.value().Release();
+  device.sanitizer()->FinalizeLeakCheck();
+  EXPECT_TRUE(device.sanitizer()->findings().empty())
+      << device.sanitizer()->ReportText();
+}
+
 }  // namespace
 }  // namespace gpm::core

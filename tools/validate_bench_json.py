@@ -5,13 +5,19 @@ dispatching on the document's `schema` field:
   gamma.bench.v1       bench binaries' --json=<file> export
   gamma.adaptivity.v1  gamma_cli --adaptivity-out audit
   gamma.metrics.v1     gamma_cli --metrics-out counter time-series
+  gamma.check.v1       gamma_cli --check-out sanitizer report
 
 Exits non-zero (with a message per problem) when the document deviates
 from its schema, so CI fails loudly instead of archiving a broken
-artifact. Stdlib only; also usable locally:
+artifact. With --expect-clean, a structurally valid gamma.check.v1
+report that contains findings also fails — that is how CI turns "the
+sanitizer saw something" into a red build. Stdlib only; also usable
+locally:
 
     ./build/bench/bench_fig10_memory --json=out.json
     python3 tools/validate_bench_json.py out.json
+    ./build/examples/gamma_cli --check --check-out check.json ...
+    python3 tools/validate_bench_json.py --expect-clean check.json
 """
 
 import json
@@ -251,34 +257,154 @@ def validate_metrics(doc):
     return errors
 
 
+# gpusim-check checkers and the finding kinds each owns (keep in sync
+# with gpusim::Sanitizer::KindName / CheckerName).
+CHECKERS = ("memcheck", "initcheck", "racecheck")
+FINDING_KINDS = {
+    "out-of-bounds": "memcheck",
+    "invalid-access": "memcheck",
+    "leak": "memcheck",
+    "double-free": "memcheck",
+    "uninitialized-read": "initcheck",
+    "race": "racecheck",
+}
+CHECK_ACTIVITY_KEYS = {
+    "device_accesses": (int, float),
+    "unified_accesses": (int, float),
+    "bulk_accesses": (int, float),
+    "allocations": (int, float),
+    "frees": (int, float),
+    "events_recorded": (int, float),
+    "event_waits": (int, float),
+}
+CHECK_FINDING_KEYS = {
+    "kind": str,
+    "checker": str,
+    "message": str,
+    "object": str,
+    "kernel": str,
+    "phase": str,
+    "task": (int, float),
+    "stream": (int, float),
+    "offset": (int, float),
+    "bytes": (int, float),
+    "occurrences": (int, float),
+    "first_cycles": (int, float),
+}
+
+
+def validate_check(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    checkers = doc.get("checkers")
+    if not isinstance(checkers, dict):
+        fail(errors, "'checkers' is missing or not an object")
+    else:
+        for name in CHECKERS:
+            if not isinstance(checkers.get(name), bool):
+                fail(errors, f"checkers: missing or non-bool '{name}'")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        fail(errors, "'summary' is missing or not an object")
+    else:
+        spec = {"total": (int, float), "occurrences": (int, float),
+                "dropped_findings": (int, float)}
+        spec.update({name: (int, float) for name in CHECKERS})
+        check_typed_keys(errors, summary, spec, "summary")
+    checked = doc.get("checked")
+    if not isinstance(checked, dict):
+        fail(errors, "'checked' is missing or not an object")
+    else:
+        check_typed_keys(errors, checked, CHECK_ACTIVITY_KEYS, "checked")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        return errors + ["'findings' is missing or not an array"]
+    per_checker = {name: 0 for name in CHECKERS}
+    occurrences = 0
+    for i, f in enumerate(findings):
+        ctx = f"findings[{i}]"
+        if not isinstance(f, dict):
+            fail(errors, f"{ctx}: not an object")
+            continue
+        check_typed_keys(errors, f, CHECK_FINDING_KEYS, ctx)
+        kind = f.get("kind")
+        if kind not in FINDING_KINDS:
+            fail(errors, f"{ctx}: unknown kind {kind!r}")
+        elif f.get("checker") != FINDING_KINDS[kind]:
+            fail(errors, f"{ctx}: kind {kind!r} belongs to "
+                 f"'{FINDING_KINDS[kind]}', not {f.get('checker')!r}")
+        else:
+            per_checker[FINDING_KINDS[kind]] += 1
+        if isinstance(f.get("occurrences"), (int, float)):
+            if f["occurrences"] < 1:
+                fail(errors, f"{ctx}: occurrences < 1")
+            occurrences += f["occurrences"]
+    if isinstance(summary, dict):
+        if summary.get("total") != len(findings):
+            fail(errors, f"summary.total is {summary.get('total')} but "
+                 f"there are {len(findings)} findings")
+        for name in CHECKERS:
+            want = per_checker[name]
+            if isinstance(summary.get(name), (int, float)) \
+                    and summary[name] != want:
+                fail(errors, f"summary.{name} is {summary[name]} but "
+                     f"{want} findings belong to it")
+        if isinstance(summary.get("occurrences"), (int, float)) \
+                and summary["occurrences"] != occurrences:
+            fail(errors, f"summary.occurrences is "
+                 f"{summary['occurrences']}, want {occurrences}")
+    return errors
+
+
 VALIDATORS = {
     "gamma.bench.v1": validate,
     "gamma.adaptivity.v1": validate_adaptivity,
     "gamma.metrics.v1": validate_metrics,
+    "gamma.check.v1": validate_check,
 }
 
 
 def main(argv):
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} <file.json>", file=sys.stderr)
+    args = list(argv[1:])
+    expect_clean = "--expect-clean" in args
+    if expect_clean:
+        args.remove("--expect-clean")
+    if len(args) != 1:
+        print(f"usage: {argv[0]} [--expect-clean] <file.json>",
+              file=sys.stderr)
         return 2
+    path = args[0]
     try:
-        with open(argv[1], encoding="utf-8") as f:
+        with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"{argv[1]}: {e}", file=sys.stderr)
+        print(f"{path}: {e}", file=sys.stderr)
         return 1
     schema = doc.get("schema") if isinstance(doc, dict) else None
     validator = VALIDATORS.get(schema)
     if validator is None:
-        print(f"{argv[1]}: unknown schema {schema!r} "
+        print(f"{path}: unknown schema {schema!r} "
               f"(know: {sorted(VALIDATORS)})", file=sys.stderr)
         return 1
     errors = validator(doc)
+    if expect_clean:
+        if schema != "gamma.check.v1":
+            print(f"{path}: --expect-clean only applies to gamma.check.v1",
+                  file=sys.stderr)
+            return 2
+        if not errors and doc.get("findings"):
+            for f in doc["findings"]:
+                print(f"{path}: finding [{f.get('checker')}] "
+                      f"{f.get('kind')}: {f.get('message')}",
+                      file=sys.stderr)
+            errors = [f"expected a clean report but it has "
+                      f"{len(doc['findings'])} finding(s)"]
     if errors:
         for msg in errors:
-            print(f"{argv[1]}: {msg}", file=sys.stderr)
+            print(f"{path}: {msg}", file=sys.stderr)
         return 1
+    argv = [argv[0], path]  # legacy message paths below use argv[1]
     if schema == "gamma.bench.v1":
         n = len(doc["runs"])
         skipped = sum(1 for r in doc["runs"] if r.get("skipped"))
@@ -287,6 +413,11 @@ def main(argv):
     elif schema == "gamma.adaptivity.v1":
         print(f"{argv[1]}: OK — {len(doc['records'])} extension records, "
               f"placement {doc.get('placement')}")
+    elif schema == "gamma.check.v1":
+        enabled = ",".join(c for c in CHECKERS
+                           if doc.get("checkers", {}).get(c))
+        print(f"{argv[1]}: OK — {len(doc['findings'])} finding(s), "
+              f"checkers {enabled or 'none'}")
     else:
         print(f"{argv[1]}: OK — {len(doc['samples'])} samples, "
               f"{len(doc['columns'])} columns")
