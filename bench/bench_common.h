@@ -3,7 +3,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -19,6 +21,16 @@
 
 namespace gpm::bench {
 
+/// Host threads used by every simulated device the benches construct,
+/// settable with `--host-threads=N` (see Main). Purely a wall-clock knob:
+/// the executor's ordered replay keeps every simulated result bit-identical
+/// to a serial run — the CI identity smoke diffs the exported JSON between
+/// 1 and 4 threads to enforce exactly that.
+inline int& BenchHostThreads() {
+  static int threads = 1;
+  return threads;
+}
+
 /// Simulated device used across the benches. The ratios mirror the paper's
 /// testbed: device memory is small relative to the proxy graphs and their
 /// intermediate results, the same way 16 GB compares to billion-edge
@@ -30,6 +42,7 @@ inline gpusim::SimParams BenchDeviceParams() {
   // (64 pages vs hundreds of CSR pages) — the paper's regime, where the
   // choice of which pages to cache actually matters.
   p.um_device_buffer_bytes = 256ull << 10;
+  p.host_threads = BenchHostThreads();
   return p;
 }
 
@@ -72,10 +85,15 @@ struct BenchRun {
   std::string error;
   double sim_millis = 0;
   double cycles = 0;
+  /// Real (host) time the variant took, for the parallel-executor speedup
+  /// report. Unlike everything else in the document this is inherently
+  /// nondeterministic — comparison tooling ignores it.
+  double wall_clock_ms = 0;
   std::size_t device_memory_bytes = 0;
   std::size_t um_device_buffer_bytes = 0;
   int num_warp_slots = 0;
   int streams = 0;
+  int host_threads = 1;
   std::size_t peak_device_bytes = 0;
   std::size_t peak_host_bytes = 0;
   double link_busy_cycles = 0;
@@ -130,11 +148,13 @@ class BenchJson {
       if (!r.error.empty()) w.Key("error").Value(r.error);
       w.Key("sim_millis").Value(r.sim_millis);
       w.Key("cycles").Value(r.cycles);
+      w.Key("wall_clock_ms").Value(r.wall_clock_ms);
       w.Key("params").BeginObject();
       w.Key("device_memory_bytes").Value(r.device_memory_bytes);
       w.Key("um_device_buffer_bytes").Value(r.um_device_buffer_bytes);
       w.Key("num_warp_slots").Value(r.num_warp_slots);
       w.Key("streams").Value(r.streams);
+      w.Key("host_threads").Value(r.host_threads);
       w.EndObject();
       w.Key("peak_device_bytes").Value(r.peak_device_bytes);
       w.Key("peak_host_bytes").Value(r.peak_host_bytes);
@@ -258,7 +278,15 @@ benchmark::internal::Benchmark* RegisterSim(const std::string& name,
              name.c_str(),
              [name, fn](benchmark::State& state) mutable {
                BenchJson::Get().BeginRun(name);
+               const auto wall_start = std::chrono::steady_clock::now();
                fn(state);
+               if (BenchRun* r = BenchJson::Get().Current()) {
+                 r->wall_clock_ms =
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+                 r->host_threads = BenchHostThreads();
+               }
              })
       ->UseManualTime()
       ->Iterations(1);
@@ -276,6 +304,13 @@ inline int Main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--host-threads=", 0) == 0) {
+      int threads = std::atoi(arg.c_str() + 15);
+      if (threads < 1) {
+        std::fprintf(stderr, "--host-threads wants a positive integer\n");
+        return 1;
+      }
+      BenchHostThreads() = threads;
     } else {
       argv[kept++] = argv[i];
     }

@@ -47,6 +47,7 @@ struct CliOptions {
   bool symmetric = false;
   std::size_t device_mb = 16;
   int warps = 64;
+  int host_threads = 1;
   bool show_stats = false;
   bool trace = false;
   std::string profile_json;
@@ -82,6 +83,10 @@ void Usage() {
       "  --symmetric        SM with automorphism symmetry breaking\n"
       "  --device-mb N      simulated device memory (default 16)\n"
       "  --warps N          resident warp slots (default 64)\n"
+      "  --host-threads N   host threads executing warp tasks (default 1;\n"
+      "                     > 1 runs task functions on a thread pool and\n"
+      "                     replays their side effects in task order, so\n"
+      "                     all simulated output stays bit-identical)\n"
       "  --stats            print hardware counters\n"
       "  --trace            print per-kernel cycle breakdown\n"
       "  --profile-json F   write the run profile (per-phase cycles and\n"
@@ -146,6 +151,12 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->device_mb = std::strtoull(next(), nullptr, 10);
     } else if (a == "--warps") {
       o->warps = std::atoi(next());
+    } else if (a == "--host-threads") {
+      o->host_threads = std::atoi(next());
+      if (o->host_threads < 1) {
+        std::fprintf(stderr, "--host-threads wants N >= 1\n");
+        return false;
+      }
     } else if (a == "--stats") {
       o->show_stats = true;
     } else if (a == "--trace") {
@@ -237,6 +248,7 @@ int main(int argc, char** argv) {
   params.device_memory_bytes = o.device_mb << 20;
   params.um_device_buffer_bytes = params.device_memory_bytes / 8;
   params.num_warp_slots = o.warps;
+  params.host_threads = o.host_threads;
   gpusim::Device device(params);
   // The JSON profile embeds the kernel trace, so --profile-json implies
   // tracing.

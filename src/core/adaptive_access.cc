@@ -198,10 +198,18 @@ void GraphAccessor::ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
   }
   // Graph spans are replayed into the counterfactual shadow models here,
   // where the offsets are known (the zero-copy warp path cannot recover
-  // them); the SpanGuard stops the observer taps from replaying the real
-  // charges a second time while still accumulating their actual cycles.
-  if (audit_ != nullptr) audit_->OnGraphSpan(region, offset, bytes);
-  AdaptivityAudit::SpanGuard guard(audit_);
+  // them); the graph-span bracket stops the observer taps from replaying
+  // the real charges a second time while still accumulating their actual
+  // cycles. Both the shadow replay and the bracket mutate audit state, so
+  // they ride WarpCtx::Defer: immediate on a serial context, recorded
+  // in-line with the charges (and hence correctly ordered around them at
+  // replay) on a recording one.
+  if (audit_ != nullptr) {
+    warp.Defer([audit = audit_, region, offset, bytes](gpusim::WarpCtx&) {
+      audit->OnGraphSpan(region, offset, bytes);
+      audit->BeginGraphSpan();
+    });
+  }
   const std::size_t page_bytes = device_->params().um_page_bytes;
   std::size_t first = offset / page_bytes;
   std::size_t last = (offset + bytes - 1) / page_bytes;
@@ -213,6 +221,9 @@ void GraphAccessor::ChargeSpan(gpusim::WarpCtx& warp, std::size_t offset,
     } else {
       warp.ZeroCopyRead(hi - lo);
     }
+  }
+  if (audit_ != nullptr) {
+    warp.Defer([audit = audit_](gpusim::WarpCtx&) { audit->EndGraphSpan(); });
   }
 }
 

@@ -184,15 +184,22 @@ class AdaptivityAudit : public gpusim::AccessObserver {
   /// the real charges under a SpanGuard.
   void OnGraphSpan(uint32_t region, std::size_t offset, std::size_t bytes);
 
-  /// Marks the real charges of a graph span already replayed via
+  /// Brackets for the real charges of a graph span already replayed via
   /// OnGraphSpan, so the observer taps add them to the actual totals only.
+  /// Exposed (rather than SpanGuard-only) because GraphAccessor defers them
+  /// through WarpCtx::Defer on recording contexts, where the bracket must
+  /// travel with the charges into the ordered replay.
+  void BeginGraphSpan() { in_graph_span_ = true; }
+  void EndGraphSpan() { in_graph_span_ = false; }
+
+  /// RAII form of the brackets, for immediate-mode call sites.
   class SpanGuard {
    public:
     explicit SpanGuard(AdaptivityAudit* audit) : audit_(audit) {
-      if (audit_ != nullptr) audit_->in_graph_span_ = true;
+      if (audit_ != nullptr) audit_->BeginGraphSpan();
     }
     ~SpanGuard() {
-      if (audit_ != nullptr) audit_->in_graph_span_ = false;
+      if (audit_ != nullptr) audit_->EndGraphSpan();
     }
     SpanGuard(const SpanGuard&) = delete;
     SpanGuard& operator=(const SpanGuard&) = delete;

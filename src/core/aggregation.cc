@@ -1,5 +1,6 @@
 #include "core/aggregation.h"
 
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,14 +26,36 @@ Result<AggregationResult> Aggregate(const EmbeddingTable& table,
 
   gpusim::Device* device = table.device();
   const graph::Graph& g = accessor->graph();
-  graph::CanonicalCache cache;
 
   // Map phase: one warp per row block; each row is reconstructed, its
-  // pattern built and canonically coded, and the code written out.
+  // pattern built and canonically coded, and the code written out. Tasks
+  // may run concurrently: every row writes only its own code slot, each
+  // task collects its own first-seen exemplars (merged after the launch in
+  // ascending task order, reproducing the serial first-wins choice), and
+  // the canonical-code memo — whose values are content-derived and thus
+  // interleaving-independent — is the one piece of shared mutable state,
+  // behind a mutex. The permutation search itself runs outside the lock
+  // (codes are pure functions of the pattern, so a rare duplicate search
+  // computes the same value), keeping the dominant cost parallel.
   result.codes.resize(rows);
   std::unordered_map<uint64_t, graph::Pattern> exemplars;
-  std::vector<Unit> units;
+  std::mutex cache_mu;
+  std::unordered_map<uint64_t, uint64_t> canon_memo;  // raw code -> canonical
+  auto canonical_of = [&cache_mu, &canon_memo](const graph::Pattern& p) {
+    const uint64_t raw = graph::RawCode(p);
+    {
+      std::lock_guard<std::mutex> lock(cache_mu);
+      auto it = canon_memo.find(raw);
+      if (it != canon_memo.end()) return it->second;
+    }
+    const uint64_t canon = graph::CanonicalCode(p);
+    std::lock_guard<std::mutex> lock(cache_mu);
+    canon_memo.emplace(raw, canon);
+    return canon;
+  };
   std::size_t tasks = (rows + kRowsPerWarp - 1) / kRowsPerWarp;
+  std::vector<std::unordered_map<uint64_t, graph::Pattern>> task_exemplars(
+      tasks);
   result.kernel_cycles += device->LaunchKernel(
       tasks, [&](gpusim::WarpCtx& w, std::size_t t) {
         std::size_t lo = t * kRowsPerWarp;
@@ -51,14 +74,16 @@ Result<AggregationResult> Aggregate(const EmbeddingTable& table,
             std::vector<graph::VertexId> verts(emb.begin(), emb.end());
             p = graph::PatternOfVertices(g, verts, options.use_labels);
           }
-          uint64_t code = cache.Get(p);
+          const uint64_t code = canonical_of(p);
           result.codes[r] = code;
-          exemplars.emplace(code, p);
+          task_exemplars[t].emplace(code, p);
         }
         w.DeviceWrite((hi - lo) * sizeof(uint64_t));
-        units.clear();
       },
       "aggregation-map");
+  for (auto& te : task_exemplars) {
+    for (auto& [code, p] : te) exemplars.emplace(code, p);
+  }
 
   // Sort the code column (out-of-core capable) and count runs.
   std::vector<uint64_t> sorted = result.codes;

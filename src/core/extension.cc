@@ -106,16 +106,19 @@ Result<ExtensionStats> RunExtension(
   // chunk i+1 run on a compute stream while chunk i's result flush and
   // host-side append drain on a copy stream; events guard reuse of each
   // buffer half. Count-only extensions move no results, so there is
-  // nothing to overlap.
-  const bool async = options.num_streams >= 2 && !options.count_only;
+  // nothing to overlap — but their kernels still run on the compute
+  // stream, so per-stream trace/metrics attribution is consistent across
+  // every write strategy.
+  const bool use_worker_streams = options.num_streams >= 2;
+  const bool async = use_worker_streams && !options.count_only;
   const gpusim::StreamId compute_stream =
-      async ? device->WorkerStream(0) : gpusim::kDefaultStream;
+      use_worker_streams ? device->WorkerStream(0) : gpusim::kDefaultStream;
   const gpusim::StreamId copy_stream =
       async ? device->WorkerStream(1) : gpusim::kDefaultStream;
-  if (async) {
+  if (use_worker_streams) {
     // The extension logically follows everything already submitted.
     device->FastForwardStream(compute_stream);
-    device->FastForwardStream(copy_stream);
+    if (async) device->FastForwardStream(copy_stream);
   }
   const bool double_buffer_pool =
       async && options.write_strategy == WriteStrategy::kDynamicAlloc;
@@ -187,17 +190,25 @@ Result<ExtensionStats> RunExtension(
     if (options.count_only) {
       // Tally survivors without writing anything: single generation pass,
       // results reduced warp-locally and atomically added to one counter.
-      stats.kernel_cycles += device->LaunchKernel(
-          chunk_tasks,
+      // Each task writes only its own tally slot (kernel lambdas may run
+      // concurrently); the reduction happens after the launch, ascending.
+      std::vector<std::size_t> task_candidates(chunk_tasks, 0);
+      std::vector<std::size_t> task_results(chunk_tasks, 0);
+      stats.kernel_cycles += device->LaunchKernelAsync(
+          compute_stream, chunk_tasks,
           [&](gpusim::WarpCtx& w, std::size_t i) {
             const WarpTask& task = tasks[chunk_begin + i];
             std::vector<Emit> local;
-            stats.candidates += generate(w, task.lo, task.hi, &local);
+            task_candidates[i] = generate(w, task.lo, task.hi, &local);
             w.ChargeWarpScan();
             w.ChargeAtomic();
-            stats.results += local.size();
+            task_results[i] = local.size();
           },
           "extension-count-only");
+      for (std::size_t i = 0; i < chunk_tasks; ++i) {
+        stats.candidates += task_candidates[i];
+        stats.results += task_results[i];
+      }
       continue;
     }
     switch (options.write_strategy) {
@@ -207,17 +218,27 @@ Result<ExtensionStats> RunExtension(
         // are collected in the same memory block").
         std::vector<MemoryPool::WarpCursor> cursors(
             std::max(1, device->params().num_warp_slots));
+        // Task-local accumulation: every task owns its tally slot and emit
+        // buffer; the pool write defers its own shared-state bookkeeping
+        // when recording. Reduction and the ordered emit merge (ascending
+        // task id = the serial schedule) happen after the launch.
+        std::vector<std::size_t> task_candidates(chunk_tasks, 0);
+        std::vector<std::vector<Emit>> task_emits(chunk_tasks);
         stats.kernel_cycles += device->LaunchKernelAsync(
             compute_stream, chunk_tasks,
             [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
-              std::vector<Emit> local;
-              stats.candidates += generate(w, task.lo, task.hi, &local);
+              std::vector<Emit>& local = task_emits[i];
+              task_candidates[i] = generate(w, task.lo, task.hi, &local);
               pool.WarpWrite(w, &cursors[i % cursors.size()], local.size(),
                              kEntryBytes);
-              emitted.insert(emitted.end(), local.begin(), local.end());
             },
             "extension-dynamic");
+        for (std::size_t i = 0; i < chunk_tasks; ++i) {
+          stats.candidates += task_candidates[i];
+          emitted.insert(emitted.end(), task_emits[i].begin(),
+                         task_emits[i].end());
+        }
         for (auto& cursor : cursors) pool.EndWarpTask(&cursor);
         chunk_results = emitted.size();
         if (async) {
@@ -231,16 +252,20 @@ Result<ExtensionStats> RunExtension(
       case WriteStrategy::kNaiveTwoPass: {
         // Pass 1: count only (full generation cost, results discarded).
         std::vector<std::size_t> counts(chunk_tasks, 0);
+        std::vector<std::size_t> task_candidates(chunk_tasks, 0);
         stats.kernel_cycles += device->LaunchKernelAsync(
             compute_stream, chunk_tasks,
             [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
               std::vector<Emit> local;
-              stats.candidates += generate(w, task.lo, task.hi, &local);
+              task_candidates[i] = generate(w, task.lo, task.hi, &local);
               counts[i] = local.size();
               w.DeviceWrite(sizeof(uint32_t));  // per-task count
             },
             "extension-count");
+        for (std::size_t i = 0; i < chunk_tasks; ++i) {
+          stats.candidates += task_candidates[i];
+        }
         // Scan of per-task counts to assign exact write offsets.
         stats.kernel_cycles += device->LaunchKernelAsync(
             compute_stream, 1, [&](gpusim::WarpCtx& w, std::size_t) {
@@ -251,16 +276,20 @@ Result<ExtensionStats> RunExtension(
             },
             "extension-scan");
         // Pass 2: regenerate and write at exact offsets.
+        std::vector<std::vector<Emit>> task_emits(chunk_tasks);
         stats.kernel_cycles += device->LaunchKernelAsync(
             compute_stream, chunk_tasks,
             [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
-              std::vector<Emit> local;
+              std::vector<Emit>& local = task_emits[i];
               generate(w, task.lo, task.hi, &local);
               w.DeviceWrite(local.size() * kEntryBytes);
-              emitted.insert(emitted.end(), local.begin(), local.end());
             },
             "extension-write");
+        for (std::size_t i = 0; i < chunk_tasks; ++i) {
+          emitted.insert(emitted.end(), task_emits[i].begin(),
+                         task_emits[i].end());
+        }
         chunk_results = emitted.size();
         if (async) {
           device->WaitEvent(copy_stream, device->RecordEvent(compute_stream));
@@ -270,18 +299,24 @@ Result<ExtensionStats> RunExtension(
         break;
       }
       case WriteStrategy::kPreAlloc: {
+        std::vector<std::size_t> task_candidates(chunk_tasks, 0);
+        std::vector<std::vector<Emit>> task_emits(chunk_tasks);
         stats.kernel_cycles += device->LaunchKernelAsync(
             compute_stream, chunk_tasks,
             [&](gpusim::WarpCtx& w, std::size_t i) {
               const WarpTask& task = tasks[chunk_begin + i];
-              std::vector<Emit> local;
-              stats.candidates += generate(w, task.lo, task.hi, &local);
+              std::vector<Emit>& local = task_emits[i];
+              task_candidates[i] = generate(w, task.lo, task.hi, &local);
               // Scattered writes into the worst-case slots.
               w.DeviceWrite(local.size() * kEntryBytes);
               w.DeviceWrite((task.hi - task.lo) * sizeof(uint32_t));
-              emitted.insert(emitted.end(), local.begin(), local.end());
             },
             "extension-prealloc");
+        for (std::size_t i = 0; i < chunk_tasks; ++i) {
+          stats.candidates += task_candidates[i];
+          emitted.insert(emitted.end(), task_emits[i].begin(),
+                         task_emits[i].end());
+        }
         chunk_results = emitted.size();
         // Combine step: compact the sparse buffer. Bandwidth is paid over
         // the whole preallocated span — that is the cost of overestimation.
@@ -322,8 +357,9 @@ Result<ExtensionStats> RunExtension(
     if (async) flush_done[half] = device->RecordEvent(copy_stream);
   }
 
-  if (async) {
-    // The new column is complete only once both pipeline legs drain.
+  if (use_worker_streams) {
+    // The results are complete only once every pipeline leg drains (for
+    // count-only, just the compute stream).
     device->Synchronize();
   }
 

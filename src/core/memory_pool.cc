@@ -62,6 +62,17 @@ void MemoryPool::GrabBlock(gpusim::WarpCtx& warp, WarpCursor* cursor,
 
 void MemoryPool::WarpWrite(gpusim::WarpCtx& warp, WarpCursor* cursor,
                            std::size_t count, std::size_t entry_bytes) {
+  if (warp.recording()) {
+    // Block grabbing, drain decisions, and cursor arithmetic all read and
+    // mutate pool state shared across warp tasks — re-run the whole write
+    // during the ordered replay, where the context is immediate and task
+    // order matches the serial schedule. Keeps every call site oblivious
+    // to the execution mode.
+    warp.Defer([this, cursor, count, entry_bytes](gpusim::WarpCtx& rw) {
+      WarpWrite(rw, cursor, count, entry_bytes);
+    });
+    return;
+  }
   while (count > 0) {
     if (cursor->remaining_entries == 0) {
       GrabBlock(warp, cursor, entry_bytes);

@@ -14,6 +14,11 @@ Device::Device(SimParams params)
   // Page-level fault/hit/eviction events land on the timeline recorder,
   // stamped with the device clock (kernel-boundary resolution).
   unified_.BindTrace(&trace_recorder_, &clock_cycles_);
+  // host_threads is a wall-clock knob only: the pool runs kernel record
+  // phases, and ordered replay keeps results bit-identical to serial.
+  if (params_.host_threads > 1) {
+    executor_ = std::make_unique<HostExecutor>(params_.host_threads);
+  }
   // The unified-memory page buffer is carved out of device memory so that
   // in-core data structures compete with it for space, like on real
   // hardware.

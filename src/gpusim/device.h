@@ -12,6 +12,7 @@
 
 #include "gpusim/access_observer.h"
 #include "gpusim/device_memory.h"
+#include "gpusim/host_executor.h"
 #include "gpusim/metrics.h"
 #include "gpusim/profile.h"
 #include "gpusim/sanitizer.h"
@@ -126,6 +127,10 @@ class Device {
   /// primitives reuse these across calls instead of growing the stream set
   /// on every invocation.
   StreamId WorkerStream(int i);
+
+  /// The host thread pool running kernel record phases, or nullptr when
+  /// `SimParams::host_threads` <= 1 (serial execution).
+  HostExecutor* host_executor() const { return executor_.get(); }
 
   /// When the stream's last command finished (its clock).
   double stream_cycles(StreamId stream) const {
@@ -291,9 +296,30 @@ class Device {
     std::vector<std::vector<std::pair<double, double>>> slot_runs;
     if (record_slots) slot_runs.resize(static_cast<std::size_t>(slots));
     std::size_t launch_pcie_bytes = 0;
+    // With a host executor, kernel execution is two-phase: first every task
+    // function runs on the thread pool with a *recording* context (charges
+    // append to a private log; shared simulator state is untouched), then
+    // this thread replays the logs in ascending task order through the
+    // immediate-mode charge implementations. Identical functions applied to
+    // identical state in the serial order make every simulated quantity —
+    // stats, doubles, UM pages, traces, sanitizer epochs — bit-identical to
+    // a serial run, whatever schedule the pool picked.
+    const bool parallel = executor_ != nullptr && num_tasks > 1;
+    std::vector<WarpTaskLog> logs;
+    if (parallel) {
+      logs.resize(num_tasks);
+      executor_->ParallelFor(num_tasks, [this, &logs, &fn](std::size_t t) {
+        WarpCtx warp(this, t, &logs[t]);
+        fn(warp, t);
+      });
+    }
     for (std::size_t t = 0; t < num_tasks; ++t) {
       WarpCtx warp(this, t);
-      fn(warp, t);
+      if (parallel) {
+        warp.Replay(logs[t]);
+      } else {
+        fn(warp, t);
+      }
       launch_pcie_bytes += warp.pcie_bytes();
       auto [start, slot] = finish.top();
       finish.pop();
@@ -361,6 +387,7 @@ class Device {
   TraceRecorder trace_recorder_;
   MetricsSampler metrics_;
   DeviceBuffer um_buffer_reservation_;
+  std::unique_ptr<HostExecutor> executor_;
   std::unique_ptr<Sanitizer> sanitizer_;
   AccessObserver* access_observer_ = nullptr;
   AdaptivityGauges adaptivity_gauges_;

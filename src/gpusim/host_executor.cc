@@ -1,0 +1,75 @@
+#include "gpusim/host_executor.h"
+
+#include <algorithm>
+
+namespace gpm::gpusim {
+
+HostExecutor::HostExecutor(int num_threads) {
+  const int extra = std::max(0, num_threads - 1);
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HostExecutor::~HostExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void HostExecutor::ParallelFor(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread is a worker too.
+  for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void HostExecutor::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this, seen] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    for (std::size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next_.fetch_add(1, std::memory_order_relaxed)) {
+      (*job)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace gpm::gpusim

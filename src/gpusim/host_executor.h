@@ -1,0 +1,61 @@
+#ifndef GAMMA_GPUSIM_HOST_EXECUTOR_H_
+#define GAMMA_GPUSIM_HOST_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpm::gpusim {
+
+/// A persistent pool of host threads running the record phase of a kernel
+/// launch (`SimParams::host_threads`). `ParallelFor(n, fn)` calls `fn(i)`
+/// exactly once for every i in [0, n), claiming indices from a shared atomic
+/// counter (dynamic scheduling — warp tasks are heavily skewed), with the
+/// calling thread participating as one worker.
+///
+/// The executor knows nothing about simulation state; determinism is the
+/// caller's contract. Device::LaunchKernelAsync has each task record its
+/// side effects into a private WarpTaskLog here, then replays the logs in
+/// ascending task order on the launching thread — so the schedule this pool
+/// picks can never leak into simulated results.
+class HostExecutor {
+ public:
+  /// `num_threads` is the total parallelism including the calling thread;
+  /// the pool spawns num_threads - 1 workers.
+  explicit HostExecutor(int num_threads);
+  ~HostExecutor();
+
+  HostExecutor(const HostExecutor&) = delete;
+  HostExecutor& operator=(const HostExecutor&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(i)` for every i in [0, n); returns once all have completed.
+  /// `fn` must be safe to call concurrently for distinct indices. Calls
+  /// from inside a ParallelFor are not supported (kernels do not nest).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current job, published under mu_ and valid until remaining_ hits 0.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t remaining_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_HOST_EXECUTOR_H_

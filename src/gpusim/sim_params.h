@@ -31,6 +31,14 @@ struct SimParams {
   /// Fixed cost of launching a kernel (driver + dispatch).
   double kernel_launch_cycles = 2000.0;
 
+  /// Host threads executing warp tasks. 1 = serial. With N > 1 the Device
+  /// runs each kernel's task functions on a thread pool and then replays
+  /// their recorded side effects in ascending task order on the launching
+  /// thread, so every simulated quantity (cycles, DeviceStats, UM page
+  /// state, traces, sanitizer findings) is bit-identical to the serial
+  /// schedule. Purely a wall-clock knob; never changes simulation results.
+  int host_threads = 1;
+
   // -- Device memory ------------------------------------------------------
   /// Total device ("global") memory. In-core systems must fit everything
   /// here; GAMMA only places write buffers and the UM page buffer here.

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "gpusim/device_memory.h"
 #include "gpusim/sim_params.h"
@@ -11,6 +13,42 @@
 namespace gpm::gpusim {
 
 class Device;
+class WarpCtx;
+
+/// One recorded side effect of a warp task. When a kernel executes its task
+/// functions on the host thread pool, every charge is appended here instead
+/// of touching simulator state; the launching thread then replays the logs
+/// in ascending task order through the exact immediate-mode implementations,
+/// so DeviceStats, cycle arithmetic (double addition is not associative —
+/// ops are never coalesced), UM page state, traces, and sanitizer findings
+/// are bit-identical to the serial schedule.
+struct WarpOp {
+  enum Kind : uint8_t {
+    kChargeCompute,   // d = cycles
+    kChargeSimtWork,  // a = elems, d = cycles_per_step
+    kChargeWarpScan,
+    kChargeAtomic,
+    kChargeBlockSync,
+    kDeviceRead,      // id = alloc (0 = unattributed), a = offset, b = bytes
+    kDeviceWrite,     // id = alloc (0 = unattributed), a = offset, b = bytes
+    kZeroCopyRead,    // b = bytes (writes share the symmetric cost model)
+    kUnifiedRead,     // id = region, a = offset, b = bytes
+    kAddPcieBytes,    // b = bytes
+    kCallback,        // a = index into WarpTaskLog::callbacks
+  };
+  Kind kind;
+  uint64_t id = 0;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double d = 0;
+};
+
+/// The ordered side-effect log of one warp task: typed charges plus deferred
+/// host callbacks (`WarpCtx::Defer`) interleaved in call order.
+struct WarpTaskLog {
+  std::vector<WarpOp> ops;
+  std::vector<std::function<void(WarpCtx&)>> callbacks;
+};
 
 /// How device code reaches a host- or device-resident array.
 ///
@@ -32,16 +70,37 @@ const char* AccessModeName(AccessMode mode);
 /// `ChargeSimtWork`, which charges ceil(n / warp_size) element-steps instead
 /// of per-thread events. All memory traffic flows through the typed charge
 /// methods so that the cost model stays in one place.
+///
+/// A context is either *immediate* (the historical mode: every charge lands
+/// on the device at once) or *recording* (constructed with a WarpTaskLog:
+/// charges append ops and mutate nothing — the mode parallel launches use
+/// while task functions run concurrently). Task functions that need to
+/// mutate host state the context cannot see route it through `Defer`, which
+/// preserves the same record-then-ordered-replay discipline. While
+/// recording, `cycles()` and `pcie_bytes()` stay 0 — kernels must not
+/// branch on them mid-task.
 class WarpCtx {
  public:
   WarpCtx(Device* device, std::size_t task_id);
+  WarpCtx(Device* device, std::size_t task_id, WarpTaskLog* log);
 
   std::size_t task_id() const { return task_id_; }
   double cycles() const { return cycles_; }
   Device* device() { return device_; }
 
+  /// True when charges are being recorded for later ordered replay instead
+  /// of applied immediately. Components with side effects beyond the typed
+  /// charges (e.g. MemoryPool) check this and defer themselves.
+  bool recording() const { return log_ != nullptr; }
+
   /// Raw ALU work (already warp-parallel): adds `cycles` directly.
-  void ChargeCompute(double cycles) { cycles_ += cycles; }
+  void ChargeCompute(double cycles) {
+    if (log_ != nullptr) {
+      log_->ops.push_back({WarpOp::kChargeCompute, 0, 0, 0, cycles});
+      return;
+    }
+    cycles_ += cycles;
+  }
 
   /// Warp-parallel loop over `elems` elements at `cycles_per_step` per
   /// 32-wide step.
@@ -84,17 +143,35 @@ class WarpCtx {
   void UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
                    std::size_t bytes);
 
+  /// Runs `fn(*this)` now in immediate mode, or records it for ordered
+  /// replay on the launching thread when recording. This is the escape
+  /// hatch for side effects the typed ops cannot express (memory-pool
+  /// bookkeeping, audit span brackets); the callback executes interleaved
+  /// with the replayed charges exactly where the call sat in the task.
+  void Defer(std::function<void(WarpCtx&)> fn);
+
+  /// Applies every op in `log` to this (immediate-mode) context, in order.
+  /// Called by the launching thread once per task, ascending.
+  void Replay(const WarpTaskLog& log);
+
   /// PCIe traffic this warp task generated (zero-copy transactions, UM
   /// migrations, mid-kernel pool drains). The kernel sums it per launch and
   /// overlaps the total with its compute makespan — scoping the accumulator
   /// to the task keeps interleaved transfers on other streams from being
   /// attributed to the wrong kernel's overlap credit.
-  void AddPcieBytes(std::size_t bytes) { pcie_bytes_ += bytes; }
+  void AddPcieBytes(std::size_t bytes) {
+    if (log_ != nullptr) {
+      log_->ops.push_back({WarpOp::kAddPcieBytes, 0, 0, bytes, 0});
+      return;
+    }
+    pcie_bytes_ += bytes;
+  }
   std::size_t pcie_bytes() const { return pcie_bytes_; }
 
  private:
   Device* device_;
   std::size_t task_id_;
+  WarpTaskLog* log_ = nullptr;
   double cycles_ = 0;
   std::size_t pcie_bytes_ = 0;
 };

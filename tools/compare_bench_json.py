@@ -41,9 +41,12 @@ CYCLE_VALUED_KEYS = {
     "access_cycles",
 }
 
-# Document-level keys that may legitimately differ between a baseline and
-# a fresh run (nothing today; placeholder for e.g. timestamps).
-IGNORED_KEYS = set()
+# Keys that may legitimately differ between a baseline and a fresh run:
+# wall_clock_ms is host wall time (machine- and load-dependent by nature),
+# host_threads is the executor configuration — both are measurement
+# context, not simulation results, and the determinism contract says
+# neither may move any other key.
+IGNORED_KEYS = {"wall_clock_ms", "host_threads"}
 
 
 def rel_diff(a, b):
@@ -71,12 +74,14 @@ class Comparator:
             return
         if isinstance(base, dict) and isinstance(cur, dict):
             for k in base:
+                if k in IGNORED_KEYS:
+                    continue
                 if k not in cur:
                     self.diffs.append(f"{path}.{k}: missing in current")
                 else:
                     self.compare(base[k], cur[k], f"{path}.{k}", k)
             for k in cur:
-                if k not in base:
+                if k not in base and k not in IGNORED_KEYS:
                     self.diffs.append(f"{path}.{k}: not in baseline")
             return
         if isinstance(base, list) and isinstance(cur, list):

@@ -28,6 +28,7 @@ REQUIRED_RUN_KEYS = {
     "skipped": bool,
     "sim_millis": (int, float),
     "cycles": (int, float),
+    "wall_clock_ms": (int, float),
     "params": dict,
     "peak_device_bytes": (int, float),
     "peak_host_bytes": (int, float),
@@ -41,6 +42,7 @@ REQUIRED_PARAM_KEYS = {
     "um_device_buffer_bytes": (int, float),
     "num_warp_slots": (int, float),
     "streams": (int, float),
+    "host_threads": (int, float),
 }
 
 # Every DeviceStats counter exported via Fields(); keep in sync with
@@ -159,6 +161,9 @@ def validate(doc):
         if isinstance(run.get("link_busy_cycles"), (int, float)):
             if run["link_busy_cycles"] < 0:
                 fail(errors, f"{ctx}: negative link_busy_cycles")
+        if isinstance(run.get("wall_clock_ms"), (int, float)):
+            if run["wall_clock_ms"] < 0:
+                fail(errors, f"{ctx}: negative wall_clock_ms")
         # Skipped (crashed) runs and legacy benches that never call
         # ReportProfile leave params zeroed; require the default stream
         # only when a device was actually reported (cycles > 0).
@@ -170,6 +175,11 @@ def validate(doc):
             if run["params"]["streams"] < 1:
                 fail(errors,
                      f"{ctx}.params: streams < 1 (default stream missing)")
+        if (isinstance(run.get("params"), dict)
+                and isinstance(run["params"].get("host_threads"),
+                               (int, float))):
+            if run["params"]["host_threads"] < 1:
+                fail(errors, f"{ctx}.params: host_threads < 1")
     return errors
 
 
