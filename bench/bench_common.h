@@ -16,8 +16,10 @@
 #include "baselines/systems.h"
 #include "common/json.h"
 #include "graph/datasets.h"
+#include "gpusim/critpath.h"
 #include "gpusim/device.h"
 #include "gpusim/profile.h"
+#include "gpusim/resource_class.h"
 
 namespace gpm::bench {
 
@@ -29,6 +31,14 @@ namespace gpm::bench {
 inline int& BenchHostThreads() {
   static int threads = 1;
   return threads;
+}
+
+/// When non-empty (set with `--trace-out=<prefix>`), every RegisterSim run
+/// that calls ReportProfile also writes a Chrome trace-event timeline to
+/// `<prefix><sanitized-run-name>.trace.json`.
+inline std::string& BenchTraceOutPrefix() {
+  static std::string* prefix = new std::string();
+  return *prefix;
 }
 
 /// Simulated device used across the benches. The ratios mirror the paper's
@@ -43,6 +53,10 @@ inline gpusim::SimParams BenchDeviceParams() {
   // choice of which pages to cache actually matters.
   p.um_device_buffer_bytes = 256ull << 10;
   p.host_threads = BenchHostThreads();
+  // Command recording is pure observation (no simulated result changes)
+  // and feeds the per-run bottleneck summary in the bench JSON.
+  p.record_commands = true;
+  p.record_timeline = !BenchTraceOutPrefix().empty();
   return p;
 }
 
@@ -102,6 +116,15 @@ struct BenchRun {
   /// Adaptivity-audit totals when the variant ran with an audit attached
   /// (adaptivity.enabled stays false otherwise and no JSON is emitted).
   core::AdaptivitySummary adaptivity;
+  /// gamma-prof bottleneck summary, filled when the device recorded its
+  /// command timeline (BenchDeviceParams turns recording on).
+  bool has_bottleneck = false;
+  bool critpath_partial = false;
+  double critical_path_cycles = 0;
+  double pcie_link_utilization = 0;
+  gpusim::ResourceClass binding = gpusim::ResourceClass::kSyncIdle;
+  gpusim::ResourceCycles resource_cycles{};
+  std::vector<prof::WhatIf> whatifs;
 };
 
 /// Collects every RegisterSim run of a bench binary and writes one
@@ -174,6 +197,31 @@ class BenchJson {
         w.EndObject();
       }
       w.EndArray();
+      if (r.has_bottleneck) {
+        w.Key("bottleneck").BeginObject();
+        w.Key("partial").Value(r.critpath_partial);
+        w.Key("critical_path_cycles").Value(r.critical_path_cycles);
+        w.Key("binding").Value(gpusim::ResourceClassName(r.binding));
+        w.Key("pcie_link_utilization").Value(r.pcie_link_utilization);
+        w.Key("resource_cycles").BeginObject();
+        for (int c = 0; c < gpusim::kNumResourceClasses; ++c) {
+          w.Key(gpusim::ResourceClassName(
+                    static_cast<gpusim::ResourceClass>(c)))
+              .Value(r.resource_cycles[static_cast<std::size_t>(c)]);
+        }
+        w.EndObject();
+        w.Key("whatif").BeginArray();
+        for (const prof::WhatIf& wi : r.whatifs) {
+          w.BeginObject();
+          w.Key("resource").Value(gpusim::ResourceClassName(wi.resource));
+          w.Key("cost_factor").Value(wi.cost_factor);
+          w.Key("projected_cycles").Value(wi.projected_cycles);
+          w.Key("speedup").Value(wi.speedup);
+          w.EndObject();
+        }
+        w.EndArray();
+        w.EndObject();
+      }
       if (r.adaptivity.enabled) {
         const core::AdaptivitySummary& a = r.adaptivity;
         w.Key("adaptivity").BeginObject();
@@ -209,6 +257,35 @@ class BenchJson {
   std::string binary_;
   std::vector<BenchRun> runs_;
 };
+
+/// Name of the RegisterSim run currently executing (used to name per-run
+/// trace files even when the JSON export is disabled).
+inline std::string& BenchCurrentRunName() {
+  static std::string* name = new std::string();
+  return *name;
+}
+
+/// Writes the device's recorded timeline to
+/// `<prefix><sanitized-run-name>.trace.json` when `--trace-out` is set.
+inline void WriteBenchTrace(const gpusim::Device& device) {
+  const std::string& prefix = BenchTraceOutPrefix();
+  if (prefix.empty() || !device.trace().enabled()) return;
+  std::string tag = BenchCurrentRunName();
+  for (char& c : tag) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '.';
+    if (!keep) c = '_';
+  }
+  const std::string path = prefix + tag + ".trace.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << device.trace().ToChromeTraceJson(device.params());
+  std::printf("timeline written to %s (%zu events)\n", path.c_str(),
+              device.trace().events().size());
+}
 
 /// Reports one completed system run: simulated time becomes the manual
 /// iteration time, so the benchmark table reads in simulated seconds.
@@ -254,7 +331,26 @@ inline void ReportProfile(benchmark::State& state,
     r->peak_host_bytes = device.host_tracker().peak_bytes();
     r->counters = device.stats().Snapshot();
     r->phases = device.profile().phases();
+    if (device.critpath().enabled()) {
+      auto analyzed = prof::Analyze(device);
+      if (analyzed.ok()) {
+        const prof::CritpathReport& rep = analyzed.value();
+        r->has_bottleneck = true;
+        r->critpath_partial = rep.partial;
+        r->critical_path_cycles = rep.critical_path_cycles;
+        r->pcie_link_utilization = rep.pcie_link_utilization;
+        r->binding = rep.binding;
+        r->resource_cycles = rep.resource_cycles;
+        r->whatifs = rep.whatifs;
+        state.counters["critpath_cy"] = rep.critical_path_cycles;
+      } else {
+        std::fprintf(stderr, "critpath analysis failed for %s: %s\n",
+                     r->name.c_str(),
+                     analyzed.status().ToString().c_str());
+      }
+    }
   }
+  WriteBenchTrace(device);
 }
 
 /// Attaches a run's adaptivity-audit totals to the current BenchJson
@@ -278,6 +374,7 @@ benchmark::internal::Benchmark* RegisterSim(const std::string& name,
              name.c_str(),
              [name, fn](benchmark::State& state) mutable {
                BenchJson::Get().BeginRun(name);
+               BenchCurrentRunName() = name;
                const auto wall_start = std::chrono::steady_clock::now();
                fn(state);
                if (BenchRun* r = BenchJson::Get().Current()) {
@@ -304,6 +401,8 @@ inline int Main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      BenchTraceOutPrefix() = arg.substr(12);
     } else if (arg.rfind("--host-threads=", 0) == 0) {
       int threads = std::atoi(arg.c_str() + 15);
       if (threads < 1) {

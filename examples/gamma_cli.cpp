@@ -23,6 +23,7 @@
 #include "core/gamma.h"
 #include "graph/datasets.h"
 #include "graph/loader.h"
+#include "gpusim/critpath.h"
 #include "gpusim/device.h"
 #include "gpusim/profile.h"
 
@@ -52,6 +53,7 @@ struct CliOptions {
   bool trace = false;
   std::string profile_json;
   std::string trace_out;
+  std::string critpath_out;
   std::string metrics_out;
   std::string adaptivity_out;
   std::size_t trace_capacity = 0;  // 0 = keep the default
@@ -94,8 +96,15 @@ void Usage() {
       "  --trace-out F      write a Chrome trace-event JSON timeline\n"
       "                     (kernels, phases, warp slots, UM page events;\n"
       "                     open in Perfetto or chrome://tracing)\n"
-      "  --trace-capacity N cap buffered trace events / kernel records\n"
-      "                     (default 65536; overflow counted, not stored)\n"
+      "  --trace-capacity N cap buffered trace events / kernel records /\n"
+      "                     timeline commands (default 65536 events, 2^20\n"
+      "                     commands; overflow counted, not stored)\n"
+      "  --critpath-out F   write a gamma.critpath.v1 analysis: critical\n"
+      "                     path over the stream/event/kernel DAG, per-span\n"
+      "                     slack, per-phase binding resource, and what-if\n"
+      "                     projections (PCIe x2, sort x2, ...). On a\n"
+      "                     single-stream run the critical path equals the\n"
+      "                     end-to-end cycle count exactly\n"
       "  --metrics-out F    write a gamma.metrics.v1 counter time-series\n"
       "  --metrics-interval N  metrics sampling interval in simulated\n"
       "                     cycles (default 100000)\n"
@@ -165,6 +174,8 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->profile_json = next();
     } else if (a == "--trace-out") {
       o->trace_out = next();
+    } else if (a == "--critpath-out") {
+      o->critpath_out = next();
     } else if (a == "--trace-capacity") {
       o->trace_capacity = std::strtoull(next(), nullptr, 10);
     } else if (a == "--metrics-out") {
@@ -255,6 +266,7 @@ int main(int argc, char** argv) {
   if (o.trace || !o.profile_json.empty()) device.set_trace_enabled(true);
   if (o.trace_capacity > 0) device.set_trace_capacity(o.trace_capacity);
   if (!o.trace_out.empty()) device.trace().set_enabled(true);
+  if (!o.critpath_out.empty()) device.critpath().set_enabled(true);
   if (!o.metrics_out.empty()) {
     device.metrics().set_interval_cycles(o.metrics_interval);
   }
@@ -424,6 +436,38 @@ int main(int argc, char** argv) {
     std::printf("metrics written to %s (%zu samples every %.0f cycles)\n",
                 o.metrics_out.c_str(), device.metrics().samples().size(),
                 device.metrics().interval_cycles());
+  }
+  if (!o.critpath_out.empty()) {
+    auto analyzed = prof::Analyze(device);
+    if (!analyzed.ok()) {
+      std::fprintf(stderr, "critpath: %s\n",
+                   analyzed.status().ToString().c_str());
+      return 1;
+    }
+    const prof::CritpathReport& report = analyzed.value();
+    std::ofstream out(o.critpath_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   o.critpath_out.c_str());
+      return 1;
+    }
+    out << report.ToJson();
+    std::printf(
+        "critpath written to %s (%zu commands, %d streams%s)\n",
+        o.critpath_out.c_str(), report.commands, report.streams,
+        report.partial ? "; PARTIAL: command log overflowed" : "");
+    std::printf(
+        "  critical path %.0f of %.0f cycles, bound on %s "
+        "(link utilization %.1f%%)\n",
+        report.critical_path_cycles, report.total_cycles,
+        gpusim::ResourceClassName(report.binding),
+        report.pcie_link_utilization * 100.0);
+    for (const prof::WhatIf& wi : report.whatifs) {
+      if (wi.cost_factor == 1.0) continue;  // calibration row
+      std::printf("  what-if %s x%.2g: %.0f cycles (%.2fx)\n",
+                  gpusim::ResourceClassName(wi.resource), wi.cost_factor,
+                  wi.projected_cycles, wi.speedup);
+    }
   }
   if (!o.adaptivity_out.empty()) {
     if (engine->audit() == nullptr) {

@@ -190,6 +190,11 @@ Result<SortStats> SortKeys(gpusim::Device* device,
   const std::size_t n = keys->size();
   if (n <= 1) return stats;
 
+  // gamma-prof: everything charged under the sort subtree (partition /
+  // segment / merge kernels and host merges) is attributed to the kSort
+  // resource class; memory traffic keeps its memory class.
+  gpusim::SortActivityScope sort_activity(device);
+
   if (options.method == SortMethod::kCpuSort) {
     double log_n = Log2Of(n);
     device->ChargeHostWork(static_cast<double>(n) * log_n *

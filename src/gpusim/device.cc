@@ -14,6 +14,13 @@ Device::Device(SimParams params)
   // Page-level fault/hit/eviction events land on the timeline recorder,
   // stamped with the device clock (kernel-boundary resolution).
   unified_.BindTrace(&trace_recorder_, &clock_cycles_);
+  // Observability armed from params so harnesses that construct the
+  // Device behind a helper (benches) can opt in without plumbing calls.
+  if (params_.record_commands) critpath_.set_enabled(true);
+  if (params_.record_timeline) {
+    trace_enabled_ = true;
+    trace_recorder_.set_enabled(true);
+  }
   // host_threads is a wall-clock knob only: the pool runs kernel record
   // phases, and ordered replay keeps results bit-identical to serial.
   if (params_.host_threads > 1) {
@@ -87,40 +94,58 @@ void Device::EnableSanitizer(Sanitizer::Options options) {
 StreamId Device::WorkerStream(int i) {
   GAMMA_CHECK(i >= 0) << "negative worker stream index";
   while (static_cast<int>(worker_streams_.size()) <= i) {
-    worker_streams_.push_back(streams_.CreateStream());
+    // Route through Device::CreateStream so the command log sees the
+    // stream's birth (its clock base) like any explicitly created stream.
+    worker_streams_.push_back(CreateStream());
   }
   return worker_streams_[static_cast<std::size_t>(i)];
 }
 
 double Device::CopyHostToDeviceAsync(StreamId stream, std::size_t bytes) {
   stats_.explicit_h2d_bytes += bytes;
-  if (sanitizer_ != nullptr) sanitizer_->OnCommand(stream);
-  const double start = streams_.cycles(stream);
-  const double ready = start + params_.pcie_latency_cycles;
-  const double end = streams_.AcquireLink(
-      ready, static_cast<double>(bytes) / params_.pcie_bytes_per_cycle);
-  streams_.set_cycles(stream, end);
-  clock_cycles_ = streams_.now_cycles();
-  if (trace_recorder_.enabled()) {
-    trace_recorder_.RecordSpan(TraceRecorder::Kind::kCopy, "copy-h2d", start,
-                               end, stream);
-  }
-  metrics_.MaybeSample(*this);
-  return end - start;
+  return CopyAsync(stream, bytes, "copy-h2d");
 }
 
 double Device::CopyDeviceToHostAsync(StreamId stream, std::size_t bytes) {
   stats_.explicit_d2h_bytes += bytes;
+  return CopyAsync(stream, bytes, "copy-d2h");
+}
+
+double Device::CopyAsync(StreamId stream, std::size_t bytes,
+                         const char* name) {
   if (sanitizer_ != nullptr) sanitizer_->OnCommand(stream);
   const double start = streams_.cycles(stream);
   const double ready = start + params_.pcie_latency_cycles;
-  const double end = streams_.AcquireLink(
-      ready, static_cast<double>(bytes) / params_.pcie_bytes_per_cycle);
+  const double transfer =
+      static_cast<double>(bytes) / params_.pcie_bytes_per_cycle;
+  // Snapshot link state before acquiring so the command record carries the
+  // exact window-start arithmetic (max(ready, free) + transfer).
+  const bool record_cmds = critpath_.enabled();
+  const double link_free_before =
+      record_cmds ? streams_.link_free_cycles() : 0.0;
+  const int32_t link_pred = record_cmds ? critpath_.last_link() : -1;
+  const double end = streams_.AcquireLink(ready, transfer);
   streams_.set_cycles(stream, end);
   clock_cycles_ = streams_.now_cycles();
   if (trace_recorder_.enabled()) {
-    trace_recorder_.RecordSpan(TraceRecorder::Kind::kCopy, "copy-d2h", start,
-                               end, stream);
+    trace_recorder_.RecordSpan(TraceRecorder::Kind::kCopy, name, start, end,
+                               stream);
+  }
+  if (record_cmds) {
+    prof::CommandRecord rec;
+    rec.kind = prof::CommandRecord::Kind::kCopy;
+    rec.stream = stream;
+    rec.name = name;
+    rec.phase = current_phase();
+    rec.start = start;
+    rec.end = end;
+    rec.latency = params_.pcie_latency_cycles;
+    rec.link_transfer = transfer;
+    rec.link_ready = ready;
+    rec.link_start = std::max(ready, link_free_before);
+    rec.link_end = end;
+    rec.link_pred = link_pred;
+    critpath_.Append(std::move(rec));
   }
   metrics_.MaybeSample(*this);
   return end - start;

@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "gpusim/access_observer.h"
+#include "gpusim/critpath.h"
 #include "gpusim/device_memory.h"
 #include "gpusim/host_executor.h"
 #include "gpusim/metrics.h"
 #include "gpusim/profile.h"
+#include "gpusim/resource_class.h"
 #include "gpusim/sanitizer.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/stats.h"
@@ -115,13 +117,80 @@ class Device {
     return adaptivity_gauges_;
   }
 
+  // -- gamma-prof -------------------------------------------------------------
+
+  /// Command log for critical-path analysis (see gpusim/critpath.h).
+  /// Disabled by default; `SimParams::record_commands` or
+  /// `critpath().set_enabled(true)` turns it on. Recording is pure
+  /// observation — simulated results are identical with it on or off.
+  prof::CommandLog& critpath() { return critpath_; }
+  const prof::CommandLog& critpath() const { return critpath_; }
+
+  /// Resource class a generic compute charge lands in right now: kCompute
+  /// normally, kSort inside a SortActivityScope. Memory classes pass
+  /// through unchanged so link/DRAM accounting stays honest during sorts.
+  ResourceClass EffectiveClass(ResourceClass cls) const {
+    if (sort_depth_ > 0 && cls == ResourceClass::kCompute) {
+      return ResourceClass::kSort;
+    }
+    return cls;
+  }
+
+  /// Sort-activity bracket (see SortActivityScope): while open, compute
+  /// charges are attributed to kSort. Nestable.
+  void BeginSortActivity() { ++sort_depth_; }
+  void EndSortActivity() { --sort_depth_; }
+
+  /// Phase bracket, driven by PhaseScope. The stack is always maintained
+  /// (cheap); begin/end marker records are appended only while the command
+  /// log is enabled, so the analyzer can attribute spans to phases.
+  void BeginPhaseMark(const std::string& name) {
+    phase_stack_.push_back(name);
+    if (critpath_.enabled()) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kPhaseBegin;
+      rec.name = name;
+      rec.start = rec.end = clock_cycles_;
+      critpath_.Append(std::move(rec));
+    }
+  }
+  void EndPhaseMark() {
+    if (phase_stack_.empty()) return;
+    if (critpath_.enabled()) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kPhaseEnd;
+      rec.name = phase_stack_.back();
+      rec.start = rec.end = clock_cycles_;
+      critpath_.Append(std::move(rec));
+    }
+    phase_stack_.pop_back();
+  }
+
+  /// Innermost open phase name, or "" outside every phase.
+  const std::string& current_phase() const {
+    static const std::string kEmpty;
+    return phase_stack_.empty() ? kEmpty : phase_stack_.back();
+  }
+
   // -- Streams and events -----------------------------------------------------
 
   /// The stream timelines and the shared PCIe link.
   const StreamSet& streams() const { return streams_; }
 
   /// Creates a new stream whose clock starts at the current join point.
-  StreamId CreateStream() { return streams_.CreateStream(); }
+  StreamId CreateStream() {
+    StreamId id = streams_.CreateStream();
+    if (critpath_.enabled()) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kCreateStream;
+      rec.stream = id;
+      rec.name = "create-stream";
+      rec.phase = current_phase();
+      rec.start = rec.end = streams_.cycles(id);
+      critpath_.Append(std::move(rec));
+    }
+    return id;
+  }
 
   /// Persistent worker stream `i` (0-based), created on first use. Engine
   /// primitives reuse these across calls instead of growing the stream set
@@ -141,14 +210,29 @@ class Device {
   Event RecordEvent(StreamId stream) {
     Event e = streams_.Record(stream);
     if (sanitizer_ != nullptr) e.san_seq_ = sanitizer_->OnEventRecord(stream);
+    if (critpath_.enabled()) e.cp_cmd_ = critpath_.last_on_stream(stream);
     return e;
   }
 
   /// Stalls `stream` until `event` (no-op for never-recorded events).
   void WaitEvent(StreamId stream, const Event& event) {
+    const bool log = critpath_.enabled() && event.valid();
+    const double before = log ? streams_.cycles(stream) : 0.0;
     streams_.Wait(stream, event);
     clock_cycles_ = streams_.now_cycles();
     if (sanitizer_ != nullptr) sanitizer_->OnEventWait(stream, event.san_seq_);
+    if (log) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kEventWait;
+      rec.stream = stream;
+      rec.name = "wait-event";
+      rec.phase = current_phase();
+      rec.start = before;
+      rec.end = streams_.cycles(stream);
+      rec.wait_pred = event.cp_cmd_;
+      rec.wait_cycles = event.cycles();
+      critpath_.Append(std::move(rec));
+    }
   }
 
   /// Joins every stream (cudaDeviceSynchronize); returns the join point.
@@ -156,14 +240,34 @@ class Device {
     clock_cycles_ = streams_.Synchronize();
     metrics_.MaybeSample(*this);
     if (sanitizer_ != nullptr) sanitizer_->OnSynchronize();
+    if (critpath_.enabled()) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kSynchronize;
+      rec.name = "synchronize";
+      rec.phase = current_phase();
+      rec.start = rec.end = clock_cycles_;
+      critpath_.Append(std::move(rec));
+    }
     return clock_cycles_;
   }
 
   /// Advances an idle stream to "now" so its next command follows
   /// everything already submitted (start of an async phase).
   void FastForwardStream(StreamId stream) {
+    const bool log = critpath_.enabled();
+    const double before = log ? streams_.cycles(stream) : 0.0;
     streams_.FastForward(stream);
     if (sanitizer_ != nullptr) sanitizer_->OnFastForward(stream);
+    if (log) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kFastForward;
+      rec.stream = stream;
+      rec.name = "fast-forward";
+      rec.phase = current_phase();
+      rec.start = before;
+      rec.end = streams_.cycles(stream);
+      critpath_.Append(std::move(rec));
+    }
   }
 
   /// Total simulated time since construction (cycles / seconds / ms): the
@@ -194,9 +298,24 @@ class Device {
   /// reorganizing buffers between kernels. `stream` orders the work against
   /// that stream's commands (default: the synchronous timeline).
   void ChargeHostWork(double cycles, StreamId stream = kDefaultStream) {
+    const bool log = critpath_.enabled();
+    const double before = log ? streams_.cycles(stream) : 0.0;
     streams_.set_cycles(stream, streams_.cycles(stream) + cycles);
     clock_cycles_ = streams_.now_cycles();
     metrics_.MaybeSample(*this);
+    if (log) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kHostWork;
+      rec.stream = stream;
+      rec.name = "host-work";
+      rec.phase = current_phase();
+      rec.start = before;
+      rec.end = streams_.cycles(stream);
+      rec.charge = cycles;
+      rec.host_class =
+          static_cast<int8_t>(EffectiveClass(ResourceClass::kCompute));
+      critpath_.Append(std::move(rec));
+    }
   }
 
   /// Explicit cudaMemcpy-style transfer on the default stream; advances the
@@ -236,20 +355,23 @@ class Device {
   const std::vector<KernelRecord>& kernel_trace() const { return trace_; }
   uint64_t dropped_kernel_records() const { return dropped_kernel_records_; }
 
-  /// Clears every recorded trace artifact: the kernel-record list and the
-  /// timeline recorder's events together, so the two views of the same
-  /// timeline cannot diverge after a partial clear.
+  /// Clears every recorded trace artifact: the kernel-record list, the
+  /// timeline recorder's events, and the gamma-prof command log together,
+  /// so the three views of the same timeline cannot diverge after a
+  /// partial clear.
   void ClearTrace() {
     trace_.clear();
     dropped_kernel_records_ = 0;
     trace_recorder_.Clear();
+    critpath_.Clear();
   }
 
-  /// Caps both the kernel-record list and the timeline recorder's event
-  /// buffer at `capacity` entries each.
+  /// Caps the kernel-record list, the timeline recorder's event buffer,
+  /// and the gamma-prof command log at `capacity` entries each.
   void set_trace_capacity(std::size_t capacity) {
     trace_capacity_ = capacity;
     trace_recorder_.set_capacity(capacity);
+    critpath_.set_capacity(capacity);
   }
   std::size_t trace_capacity() const { return trace_capacity_; }
 
@@ -295,6 +417,12 @@ class Device {
     // exported occupancy never paints idle time as busy.
     std::vector<std::vector<std::pair<double, double>>> slot_runs;
     if (record_slots) slot_runs.resize(static_cast<std::size_t>(slots));
+    const bool record_cmds = critpath_.enabled();
+    // Per-slot stall cycles split by resource class; the busiest slot's
+    // split becomes the kernel's what-if handle (scaling it is scaling the
+    // makespan).
+    std::vector<ResourceCycles> slot_busy;
+    if (record_cmds) slot_busy.resize(static_cast<std::size_t>(slots));
     std::size_t launch_pcie_bytes = 0;
     // With a host executor, kernel execution is two-phase: first every task
     // function runs on the thread pool with a *recording* context (charges
@@ -325,6 +453,11 @@ class Device {
       finish.pop();
       double end = start + warp.cycles();
       finish.push({end, slot});
+      if (record_cmds) {
+        auto& busy = slot_busy[static_cast<std::size_t>(slot)];
+        const ResourceCycles& task = warp.class_cycles();
+        for (int c = 0; c < kNumResourceClasses; ++c) busy[c] += task[c];
+      }
       if (record_slots && end > start) {
         auto& runs = slot_runs[static_cast<std::size_t>(slot)];
         if (!runs.empty() && runs.back().second == start) {
@@ -336,23 +469,51 @@ class Device {
     }
     if (sanitizer_ != nullptr) sanitizer_->EndKernel();
     double makespan = 0.0;
+    int busiest_slot = 0;
     while (!finish.empty()) {
       makespan = finish.top().first;
+      busiest_slot = finish.top().second;
       finish.pop();
     }
     const double work_start = start_cycles + params_.kernel_launch_cycles;
     double pcie_cycles = static_cast<double>(launch_pcie_bytes) /
                          params_.pcie_bytes_per_cycle;
     double end_cycles = work_start + makespan;
+    // Snapshot link state before acquiring so the command record carries
+    // the exact window-start arithmetic (max(ready, free) + transfer).
+    const double link_free_before =
+        record_cmds ? streams_.link_free_cycles() : 0.0;
+    const int32_t link_pred = record_cmds ? critpath_.last_link() : -1;
+    double pcie_end = 0.0;
     if (pcie_cycles > 0) {
       // The kernel's link traffic starts once the kernel does and must
       // fit behind transfers already on the link.
-      double pcie_end = streams_.AcquireLink(work_start, pcie_cycles);
+      pcie_end = streams_.AcquireLink(work_start, pcie_cycles);
       end_cycles = std::max(end_cycles, pcie_end);
     }
     streams_.set_cycles(stream, end_cycles);
     clock_cycles_ = streams_.now_cycles();
     const double kernel_cycles = end_cycles - start_cycles;
+    if (record_cmds) {
+      prof::CommandRecord rec;
+      rec.kind = prof::CommandRecord::Kind::kKernel;
+      rec.stream = stream;
+      rec.name = name;
+      rec.phase = current_phase();
+      rec.start = start_cycles;
+      rec.end = end_cycles;
+      rec.launch_cycles = params_.kernel_launch_cycles;
+      rec.makespan = makespan;
+      rec.busy = slot_busy[static_cast<std::size_t>(busiest_slot)];
+      if (pcie_cycles > 0) {
+        rec.link_transfer = pcie_cycles;
+        rec.link_ready = work_start;
+        rec.link_start = std::max(work_start, link_free_before);
+        rec.link_end = pcie_end;
+        rec.link_pred = link_pred;
+      }
+      critpath_.Append(std::move(rec));
+    }
     if (trace_enabled_) {
       if (trace_.size() < trace_capacity_) {
         trace_.push_back(
@@ -378,6 +539,10 @@ class Device {
   }
 
  private:
+  /// Shared body of the explicit-transfer APIs: link acquisition, clock
+  /// advance, trace span, and the gamma-prof command record.
+  double CopyAsync(StreamId stream, std::size_t bytes, const char* name);
+
   SimParams params_;
   DeviceMemory memory_;
   DeviceStats stats_;
@@ -400,6 +565,26 @@ class Device {
   std::size_t trace_capacity_ = TraceRecorder::kDefaultCapacity;
   uint64_t dropped_kernel_records_ = 0;
   std::vector<KernelRecord> trace_;
+  prof::CommandLog critpath_;
+  int sort_depth_ = 0;
+  std::vector<std::string> phase_stack_;
+};
+
+/// RAII bracket marking a sort subtree (multi-merge sort and friends):
+/// compute charges made while one is open are attributed to the kSort
+/// resource class. Attribution-only — never perturbs charges.
+class SortActivityScope {
+ public:
+  explicit SortActivityScope(Device* device) : device_(device) {
+    device_->BeginSortActivity();
+  }
+  ~SortActivityScope() { device_->EndSortActivity(); }
+
+  SortActivityScope(const SortActivityScope&) = delete;
+  SortActivityScope& operator=(const SortActivityScope&) = delete;
+
+ private:
+  Device* device_;
 };
 
 }  // namespace gpm::gpusim

@@ -100,9 +100,13 @@ PhaseScope::PhaseScope(Device* device, RunProfile* profile, std::string name)
       start_stats_(device->stats().Snapshot()) {
   // The sanitizer attributes findings to the innermost open phase.
   if (Sanitizer* san = device_->sanitizer()) san->PushPhase(name_);
+  // gamma-prof attributes command records to the innermost open phase;
+  // the markers let the critpath analyzer rebuild the phase windows.
+  device_->BeginPhaseMark(name_);
 }
 
 PhaseScope::~PhaseScope() {
+  device_->EndPhaseMark();
   if (Sanitizer* san = device_->sanitizer()) san->PopPhase();
   // The timeline recorder gets the phase span even when no RunProfile is
   // attached — the two consumers are independent.

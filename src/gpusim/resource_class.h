@@ -1,0 +1,62 @@
+#ifndef GAMMA_GPUSIM_RESOURCE_CLASS_H_
+#define GAMMA_GPUSIM_RESOURCE_CLASS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace gpm::gpusim {
+
+/// The resource-class taxonomy of gamma-prof: every cycle the simulator
+/// charges is tagged with the resource that consumed it, at the call site
+/// where the charge is made, so the critical-path analyzer can say *what
+/// bound a run* instead of only how long it took.
+///
+///  - kCompute:  ALU/SIMT work, warp scans, block syncs, kernel launch
+///               overhead, generic host work between kernels.
+///  - kDram:     device-memory reads/writes, global atomics, and
+///               unified-memory accesses that hit the page buffer.
+///  - kPcie:     zero-copy transactions, explicit copies (latency and
+///               transfer), and a kernel's folded link window.
+///  - kUm:       unified-memory page-fault handling plus the migration
+///               stall charged to the faulting warp.
+///  - kSort:     compute-class charges made inside a SortActivityScope
+///               (the multi-merge sort subtree); the sort's memory traffic
+///               keeps its memory class so link accounting stays honest.
+///  - kSyncIdle: event/stream stalls, dependency gaps, and the per-phase
+///               attribution residual — defined so that per-class cycles
+///               always sum exactly to the wall total they decompose.
+enum class ResourceClass : uint8_t {
+  kCompute = 0,
+  kDram,
+  kPcie,
+  kUm,
+  kSort,
+  kSyncIdle,
+};
+
+inline constexpr int kNumResourceClasses = 6;
+
+/// Per-class cycle accumulator, indexed by ResourceClass.
+using ResourceCycles = std::array<double, kNumResourceClasses>;
+
+inline const char* ResourceClassName(ResourceClass cls) {
+  switch (cls) {
+    case ResourceClass::kCompute:
+      return "compute";
+    case ResourceClass::kDram:
+      return "dram";
+    case ResourceClass::kPcie:
+      return "pcie";
+    case ResourceClass::kUm:
+      return "um";
+    case ResourceClass::kSort:
+      return "sort";
+    case ResourceClass::kSyncIdle:
+      return "sync_idle";
+  }
+  return "?";
+}
+
+}  // namespace gpm::gpusim
+
+#endif  // GAMMA_GPUSIM_RESOURCE_CLASS_H_

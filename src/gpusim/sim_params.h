@@ -88,6 +88,17 @@ struct SimParams {
   /// (transactions pipeline on the link).
   double zc_pipelined_cycles = 8.0;
 
+  // -- Observability -------------------------------------------------------
+  /// Arms the gamma-prof command log at construction (see
+  /// gpusim/critpath.h). Pure observation: recording never changes
+  /// simulated results.
+  bool record_commands = false;
+
+  /// Arms the timeline recorder and per-kernel records at construction
+  /// (equivalent to set_trace_enabled(true) + trace().set_enabled(true)),
+  /// so harnesses that build the Device behind a helper can export traces.
+  bool record_timeline = false;
+
   double CyclesToSeconds(double cycles) const {
     return cycles * 1e-9 / clock_ghz;
   }

@@ -36,6 +36,10 @@ class Event {
   // when the event was recorded (0 = recorded without a sanitizer attached).
   // Stamped by Device::RecordEvent; carries no timing information.
   uint64_t san_seq_ = 0;
+  // gamma-prof bookkeeping: index of the command-log entry whose completion
+  // this event marks (-1 = recorded with logging off or on an empty
+  // stream). Stamped by Device::RecordEvent; carries no timing information.
+  int32_t cp_cmd_ = -1;
 };
 
 /// Per-stream clocks plus the shared PCIe link of the simulated device.
@@ -90,6 +94,11 @@ class StreamSet {
 
   /// Total cycles the link has spent busy (occupancy gauge).
   double link_busy_cycles() const { return link_busy_cycles_; }
+
+  /// When the link next becomes free: the end of the last granted window.
+  /// gamma-prof reads this *before* AcquireLink to reconstruct the exact
+  /// window-start arithmetic.
+  double link_free_cycles() const { return link_free_cycles_; }
 
   /// Captures the stream's current clock as a joinable event.
   Event Record(StreamId stream) const { return Event(cycles(stream)); }

@@ -126,6 +126,9 @@ AccessCharge UnifiedMemory::Access(RegionId region, std::size_t offset,
       charge.cycles += params_.device_mem_latency_cycles +
                        static_cast<double>(span) /
                            params_.device_bytes_per_cycle;
+      charge.hit_cycles += params_.device_mem_latency_cycles +
+                           static_cast<double>(span) /
+                               params_.device_bytes_per_cycle;
       Touch(key);
       TracePage(trace_, now_cycles_, TraceRecorder::Kind::kUmHit, region, p);
     } else {
@@ -135,6 +138,9 @@ AccessCharge UnifiedMemory::Access(RegionId region, std::size_t offset,
       charge.cycles += params_.page_fault_cycles +
                        static_cast<double>(page_bytes) /
                            params_.pcie_bytes_per_cycle;
+      charge.fault_cycles += params_.page_fault_cycles +
+                             static_cast<double>(page_bytes) /
+                                 params_.pcie_bytes_per_cycle;
       charge.pcie_bytes += page_bytes;
       TracePage(trace_, now_cycles_, TraceRecorder::Kind::kUmFault, region,
                 p);

@@ -18,9 +18,18 @@ class TraceRecorder;
 
 /// Charge produced by a memory access: warp stall cycles plus bytes that
 /// must cross the PCIe link (added to the current kernel's link traffic).
+///
+/// `hit_cycles` and `fault_cycles` split `cycles` by resource class for
+/// gamma-prof (page-buffer hits are device-memory time, faults are
+/// migration time). They are accumulated with the same expressions in the
+/// same order as `cycles`, so `hit_cycles + fault_cycles == cycles` holds
+/// exactly whenever an access is all-hit or all-fault, and to within the
+/// usual fold reordering otherwise; attribution closes any residual.
 struct AccessCharge {
   double cycles = 0;
   std::size_t pcie_bytes = 0;
+  double hit_cycles = 0;
+  double fault_cycles = 0;
 };
 
 /// Simulated CUDA unified (managed) memory.

@@ -27,6 +27,15 @@ WarpCtx::WarpCtx(Device* device, std::size_t task_id)
 WarpCtx::WarpCtx(Device* device, std::size_t task_id, WarpTaskLog* log)
     : device_(device), task_id_(task_id), log_(log) {}
 
+void WarpCtx::ChargeCompute(double cycles) {
+  if (log_ != nullptr) {
+    log_->ops.push_back({WarpOp::kChargeCompute, 0, 0, 0, cycles});
+    return;
+  }
+  cycles_ += cycles;
+  AddClassCycles(device_->EffectiveClass(ResourceClass::kCompute), cycles);
+}
+
 void WarpCtx::ChargeSimtWork(std::size_t elems, double cycles_per_step) {
   if (elems == 0) return;
   if (log_ != nullptr) {
@@ -36,7 +45,9 @@ void WarpCtx::ChargeSimtWork(std::size_t elems, double cycles_per_step) {
   }
   const int w = device_->params().warp_size;
   std::size_t steps = (elems + w - 1) / w;
-  cycles_ += static_cast<double>(steps) * cycles_per_step;
+  const double charge = static_cast<double>(steps) * cycles_per_step;
+  cycles_ += charge;
+  AddClassCycles(device_->EffectiveClass(ResourceClass::kCompute), charge);
 }
 
 void WarpCtx::ChargeWarpScan() {
@@ -45,7 +56,10 @@ void WarpCtx::ChargeWarpScan() {
     return;
   }
   // log2(warp_size) shuffle rounds, one cycle each.
-  cycles_ += std::log2(static_cast<double>(device_->params().warp_size));
+  const double charge =
+      std::log2(static_cast<double>(device_->params().warp_size));
+  cycles_ += charge;
+  AddClassCycles(device_->EffectiveClass(ResourceClass::kCompute), charge);
 }
 
 void WarpCtx::ChargeAtomic() {
@@ -54,6 +68,7 @@ void WarpCtx::ChargeAtomic() {
     return;
   }
   cycles_ += device_->params().atomic_cycles;
+  AddClassCycles(ResourceClass::kDram, device_->params().atomic_cycles);
 }
 
 void WarpCtx::ChargeBlockSync() {
@@ -62,6 +77,8 @@ void WarpCtx::ChargeBlockSync() {
     return;
   }
   cycles_ += device_->params().block_sync_cycles;
+  AddClassCycles(device_->EffectiveClass(ResourceClass::kCompute),
+                 device_->params().block_sync_cycles);
 }
 
 void WarpCtx::DeviceRead(std::size_t bytes) { DeviceRead(0, 0, bytes); }
@@ -77,8 +94,10 @@ void WarpCtx::DeviceRead(DeviceMemory::AllocId alloc, std::size_t offset,
   const SimParams& p = device_->params();
   ++device_->stats().device_reads;
   device_->stats().device_read_bytes += bytes;
-  cycles_ += p.device_mem_latency_cycles +
-             static_cast<double>(bytes) / p.device_bytes_per_cycle;
+  const double charge = p.device_mem_latency_cycles +
+                        static_cast<double>(bytes) / p.device_bytes_per_cycle;
+  cycles_ += charge;
+  AddClassCycles(ResourceClass::kDram, charge);
   if (alloc == 0) return;
   if (Sanitizer* san = device_->sanitizer()) {
     san->OnWarpAccess(task_id_, alloc, offset, bytes, /*is_write=*/false);
@@ -94,8 +113,10 @@ void WarpCtx::DeviceWrite(DeviceMemory::AllocId alloc, std::size_t offset,
   const SimParams& p = device_->params();
   ++device_->stats().device_writes;
   device_->stats().device_write_bytes += bytes;
-  cycles_ += p.device_mem_latency_cycles +
-             static_cast<double>(bytes) / p.device_bytes_per_cycle;
+  const double charge = p.device_mem_latency_cycles +
+                        static_cast<double>(bytes) / p.device_bytes_per_cycle;
+  cycles_ += charge;
+  AddClassCycles(ResourceClass::kDram, charge);
   if (alloc == 0) return;
   if (Sanitizer* san = device_->sanitizer()) {
     san->OnWarpAccess(task_id_, alloc, offset, bytes, /*is_write=*/true);
@@ -117,6 +138,7 @@ void WarpCtx::ZeroCopyRead(std::size_t bytes) {
   const double charge = p.pcie_latency_cycles +
                         static_cast<double>(ntx - 1) * p.zc_pipelined_cycles;
   cycles_ += charge;
+  AddClassCycles(ResourceClass::kPcie, charge);
   AddPcieBytes(ntx * p.zc_transaction_bytes);
   if (AccessObserver* obs = device_->access_observer()) {
     obs->OnZeroCopy(bytes, charge);
@@ -139,6 +161,8 @@ void WarpCtx::UnifiedRead(UnifiedMemory::RegionId region, std::size_t offset,
   }
   AccessCharge charge = device_->unified().Access(region, offset, bytes);
   cycles_ += charge.cycles;
+  AddClassCycles(ResourceClass::kDram, charge.hit_cycles);
+  AddClassCycles(ResourceClass::kUm, charge.fault_cycles);
   if (charge.pcie_bytes > 0) AddPcieBytes(charge.pcie_bytes);
 }
 

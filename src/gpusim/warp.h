@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "gpusim/device_memory.h"
+#include "gpusim/resource_class.h"
 #include "gpusim/sim_params.h"
 #include "gpusim/unified_memory.h"
 
@@ -94,13 +95,7 @@ class WarpCtx {
   bool recording() const { return log_ != nullptr; }
 
   /// Raw ALU work (already warp-parallel): adds `cycles` directly.
-  void ChargeCompute(double cycles) {
-    if (log_ != nullptr) {
-      log_->ops.push_back({WarpOp::kChargeCompute, 0, 0, 0, cycles});
-      return;
-    }
-    cycles_ += cycles;
-  }
+  void ChargeCompute(double cycles);
 
   /// Warp-parallel loop over `elems` elements at `cycles_per_step` per
   /// 32-wide step.
@@ -168,12 +163,25 @@ class WarpCtx {
   }
   std::size_t pcie_bytes() const { return pcie_bytes_; }
 
+  /// gamma-prof: this task's stall cycles split by resource class. Each
+  /// typed charge adds the exact amount it added to `cycles()` under the
+  /// class consumed (compute charges follow the device's sort-activity
+  /// remap); the kernel folds the per-slot sums into its command record.
+  /// Like `cycles()`, stays 0 while recording — filled at replay.
+  const ResourceCycles& class_cycles() const { return class_cycles_; }
+
  private:
+  /// Tags `amount` stall cycles (already added to cycles_) with `cls`.
+  void AddClassCycles(ResourceClass cls, double amount) {
+    class_cycles_[static_cast<std::size_t>(cls)] += amount;
+  }
+
   Device* device_;
   std::size_t task_id_;
   WarpTaskLog* log_ = nullptr;
   double cycles_ = 0;
   std::size_t pcie_bytes_ = 0;
+  ResourceCycles class_cycles_{};
 };
 
 }  // namespace gpm::gpusim

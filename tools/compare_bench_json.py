@@ -39,6 +39,18 @@ CYCLE_VALUED_KEYS = {
     "regret_cycles",
     "mean_unified_pages",
     "access_cycles",
+    # gamma-prof bottleneck summaries (per-run "bottleneck" object).
+    "critical_path_cycles",
+    "pcie_link_utilization",
+    "projected_cycles",
+    "speedup",
+    # resource_cycles per-class attribution keys.
+    "compute",
+    "dram",
+    "pcie",
+    "um",
+    "sort",
+    "sync_idle",
 }
 
 # Keys that may legitimately differ between a baseline and a fresh run:

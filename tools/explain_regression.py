@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Attributes a perf-gate difference to resource classes.
+
+Takes two profiles — either two gamma.bench.v1 documents (the baseline and
+the failing current run, each carrying per-run `bottleneck` summaries) or
+two gamma.critpath.v1 documents — and explains where the cycles went: the
+per-resource-class delta for every run that moved, the phase-level shifts
+(bench documents), and which what-if projection moved the most. The output
+is a plain-text triage report; CI writes it next to the perf diff so the
+artifact answers "what got slower, and on which resource" without a local
+repro.
+
+This tool never gates anything (exit 0 unless the inputs are unreadable):
+tools/compare_bench_json.py decides pass/fail, this explains the failure.
+
+Usage:
+    explain_regression.py baseline.json current.json [--out FILE]
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+RESOURCE_CLASSES = ["compute", "dram", "pcie", "um", "sort", "sync_idle"]
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fmt_cycles(value):
+    return f"{value:+,.0f}cy"
+
+
+def class_deltas(base, cur):
+    """Per-class (delta, base, cur) triples, largest |delta| first."""
+    rows = []
+    for cls in RESOURCE_CLASSES:
+        b = float(base.get(cls, 0.0))
+        c = float(cur.get(cls, 0.0))
+        if b != c:
+            rows.append((cls, c - b, b, c))
+    rows.sort(key=lambda r: abs(r[1]), reverse=True)
+    return rows
+
+
+def explain_attribution(out, indent, base_attr, cur_attr, total_delta):
+    rows = class_deltas(base_attr, cur_attr)
+    if not rows:
+        out.append(f"{indent}resource attribution unchanged")
+        return
+    for cls, delta, b, c in rows:
+        share = ""
+        if total_delta:
+            share = f"  ({delta / total_delta * 100.0:+.1f}% of the move)"
+        out.append(f"{indent}{cls:<10} {fmt_cycles(delta):>16}   "
+                   f"{b:,.0f} -> {c:,.0f}{share}")
+
+
+def explain_whatifs(out, indent, base_wi, cur_wi):
+    base_by_key = {(w.get("resource"), w.get("cost_factor")): w
+                   for w in base_wi or []}
+    moved = []
+    for w in cur_wi or []:
+        key = (w.get("resource"), w.get("cost_factor"))
+        if key[1] == 1.0:
+            continue  # identity/calibration row
+        b = base_by_key.get(key)
+        if b is None:
+            continue
+        delta = float(w.get("projected_cycles", 0.0)) \
+            - float(b.get("projected_cycles", 0.0))
+        if delta:
+            moved.append((key, delta, b, w))
+    if not moved:
+        return
+    moved.sort(key=lambda m: abs(m[1]), reverse=True)
+    out.append(f"{indent}what-if projections that moved:")
+    for (resource, factor), delta, b, w in moved:
+        out.append(f"{indent}  {resource} x{factor:g}: "
+                   f"{b['projected_cycles']:,.0f} -> "
+                   f"{w['projected_cycles']:,.0f} ({fmt_cycles(delta)})")
+
+
+def explain_critpath_pair(base, cur):
+    out = ["gamma.critpath.v1 comparison"]
+    b_cp = float(base.get("critical_path_cycles", 0.0))
+    c_cp = float(cur.get("critical_path_cycles", 0.0))
+    delta = c_cp - b_cp
+    out.append(f"  critical path: {b_cp:,.0f} -> {c_cp:,.0f} "
+               f"({fmt_cycles(delta)})")
+    out.append(f"  binding resource: {base.get('binding')} -> "
+               f"{cur.get('binding')}")
+    out.append("  per-class attribution of the move:")
+    explain_attribution(out, "    ", base.get("resource_cycles", {}),
+                        cur.get("resource_cycles", {}), delta)
+    base_phases = {p.get("name"): p for p in base.get("phases", [])}
+    for ph in cur.get("phases", []):
+        bp = base_phases.get(ph.get("name"))
+        if bp is None:
+            out.append(f"  phase {ph.get('name')!r}: new in current "
+                       f"({ph.get('cycles', 0.0):,.0f}cy)")
+            continue
+        pd = float(ph.get("cycles", 0.0)) - float(bp.get("cycles", 0.0))
+        if not pd:
+            continue
+        out.append(f"  phase {ph.get('name')!r}: "
+                   f"{bp.get('cycles', 0.0):,.0f} -> "
+                   f"{ph.get('cycles', 0.0):,.0f} ({fmt_cycles(pd)}), "
+                   f"binding {bp.get('binding')} -> {ph.get('binding')}")
+        explain_attribution(out, "    ", bp.get("attribution", {}),
+                            ph.get("attribution", {}), pd)
+    explain_whatifs(out, "  ", base.get("whatif"), cur.get("whatif"))
+    return out
+
+
+def explain_bench_pair(base, cur):
+    out = [f"gamma.bench.v1 comparison ({cur.get('binary', '?')})"]
+    base_runs = {r.get("name"): r for r in base.get("runs", [])}
+    cur_runs = {r.get("name"): r for r in cur.get("runs", [])}
+    moved_any = False
+    for name in base_runs:
+        if name not in cur_runs:
+            out.append(f"run {name!r}: missing in current")
+    for name in cur_runs:
+        if name not in base_runs:
+            out.append(f"run {name!r}: not in baseline")
+    for name, br in base_runs.items():
+        cr = cur_runs.get(name)
+        if cr is None or br.get("skipped") or cr.get("skipped"):
+            continue
+        b_cycles = float(br.get("cycles", 0.0))
+        c_cycles = float(cr.get("cycles", 0.0))
+        delta = c_cycles - b_cycles
+        if not delta:
+            continue
+        moved_any = True
+        pct = delta / b_cycles * 100.0 if b_cycles else float("inf")
+        out.append("")
+        out.append(f"run {name}: {b_cycles:,.0f} -> {c_cycles:,.0f} "
+                   f"({fmt_cycles(delta)}, {pct:+.2f}%)")
+        b_bn = br.get("bottleneck")
+        c_bn = cr.get("bottleneck")
+        if not isinstance(b_bn, dict) or not isinstance(c_bn, dict):
+            out.append("  (no bottleneck summaries on both sides — "
+                       "regenerate the baseline with this toolchain to "
+                       "get a per-resource attribution)")
+            continue
+        if b_bn.get("binding") != c_bn.get("binding"):
+            out.append(f"  binding resource: {b_bn.get('binding')} -> "
+                       f"{c_bn.get('binding')}")
+        out.append("  per-class attribution of the move:")
+        explain_attribution(out, "    ",
+                            b_bn.get("resource_cycles", {}),
+                            c_bn.get("resource_cycles", {}), delta)
+        base_phases = {p.get("name"): p for p in br.get("phases", [])}
+        for ph in cr.get("phases", []):
+            bp = base_phases.get(ph.get("name"))
+            if bp is None:
+                continue
+            pd = float(ph.get("cycles", 0.0)) - float(bp.get("cycles", 0.0))
+            if pd:
+                out.append(f"  phase {ph.get('name')!r}: "
+                           f"{bp.get('cycles', 0.0):,.0f} -> "
+                           f"{ph.get('cycles', 0.0):,.0f} "
+                           f"({fmt_cycles(pd)})")
+        explain_whatifs(out, "  ", b_bn.get("whatif"), c_bn.get("whatif"))
+    if not moved_any:
+        out.append("no run moved in simulated cycles — the gate "
+                   "difference is structural (new/renamed runs, counter "
+                   "or schema changes), not a cycle regression")
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="attribute a perf diff to resource classes")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--out", help="also write the report to this file")
+    args = ap.parse_args(argv[1:])
+
+    try:
+        base = load(args.baseline)
+        cur = load(args.current)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    schemas = (base.get("schema"), cur.get("schema"))
+    if schemas[0] != schemas[1]:
+        print(f"error: schema mismatch {schemas[0]!r} vs {schemas[1]!r}",
+              file=sys.stderr)
+        return 2
+    if schemas[0] == "gamma.bench.v1":
+        out = explain_bench_pair(base, cur)
+    elif schemas[0] == "gamma.critpath.v1":
+        out = explain_critpath_pair(base, cur)
+    else:
+        print(f"error: unsupported schema {schemas[0]!r} (want "
+              f"gamma.bench.v1 or gamma.critpath.v1)", file=sys.stderr)
+        return 2
+
+    report = "\n".join(out) + "\n"
+    sys.stdout.write(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

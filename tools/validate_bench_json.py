@@ -6,6 +6,7 @@ dispatching on the document's `schema` field:
   gamma.adaptivity.v1  gamma_cli --adaptivity-out audit
   gamma.metrics.v1     gamma_cli --metrics-out counter time-series
   gamma.check.v1       gamma_cli --check-out sanitizer report
+  gamma.critpath.v1    gamma_cli --critpath-out bottleneck analysis
 
 Exits non-zero (with a message per problem) when the document deviates
 from its schema, so CI fails loudly instead of archiving a broken
@@ -91,6 +92,101 @@ SHADOW_KEYS = {
     "zc_bytes": (int, float),
 }
 
+# gamma-prof resource taxonomy, in canonical (fold) order. Keep in sync
+# with src/gpusim/resource_class.h — the order matters: exact-sum checks
+# below replicate the C++ left-to-right fold bit-for-bit (JSON doubles are
+# emitted with %.17g, so they round-trip exactly).
+RESOURCE_CLASSES = ["compute", "dram", "pcie", "um", "sort", "sync_idle"]
+
+WHATIF_KEYS = {
+    "resource": str,
+    "cost_factor": (int, float),
+    "projected_cycles": (int, float),
+    "speedup": (int, float),
+}
+
+
+def fold_sum(attribution):
+    """The canonical left-to-right fold over the class order."""
+    total = 0.0
+    for key in RESOURCE_CLASSES:
+        total += attribution[key]
+    return total
+
+
+def check_resource_cycles(errors, obj, ctx):
+    """Exact-keyed per-class cycle map; returns it when well-formed."""
+    if not isinstance(obj, dict):
+        fail(errors, f"{ctx}: not an object")
+        return None
+    ok = True
+    for key in RESOURCE_CLASSES:
+        if not isinstance(obj.get(key), (int, float)):
+            fail(errors, f"{ctx}: missing or mistyped '{key}'")
+            ok = False
+    for key in obj:
+        if key not in RESOURCE_CLASSES:
+            fail(errors, f"{ctx}: unknown resource class '{key}'")
+            ok = False
+    return obj if ok else None
+
+
+def check_whatifs(errors, whatifs, partial, anchor_cycles, ctx):
+    """Shared what-if panel rules: suppressed when partial, and the
+    factor-1.0 identity row must reproduce `anchor_cycles` exactly."""
+    if not isinstance(whatifs, list):
+        fail(errors, f"{ctx}: not an array")
+        return
+    if partial:
+        if whatifs:
+            fail(errors, f"{ctx}: what-ifs must be suppressed on a "
+                 f"partial log")
+        return
+    if not whatifs:
+        fail(errors, f"{ctx}: empty — the identity row is required")
+        return
+    for i, wi in enumerate(whatifs):
+        wctx = f"{ctx}[{i}]"
+        if not isinstance(wi, dict):
+            fail(errors, f"{wctx}: not an object")
+            continue
+        check_typed_keys(errors, wi, WHATIF_KEYS, wctx)
+        if wi.get("resource") not in RESOURCE_CLASSES:
+            fail(errors, f"{wctx}: unknown resource {wi.get('resource')!r}")
+    head = whatifs[0]
+    if isinstance(head, dict) and head.get("cost_factor") == 1.0:
+        if head.get("projected_cycles") != anchor_cycles:
+            fail(errors, f"{ctx}[0]: identity projection "
+                 f"{head.get('projected_cycles')!r} != critical path "
+                 f"{anchor_cycles!r} (factor 1.0 must be exact)")
+    else:
+        fail(errors, f"{ctx}[0]: first row must be the factor-1.0 "
+             f"identity projection")
+
+
+def check_bottleneck(errors, bn, ctx):
+    """Per-run bottleneck summary embedded in gamma.bench.v1 documents."""
+    if not isinstance(bn, dict):
+        fail(errors, f"{ctx}: not an object")
+        return
+    check_typed_keys(
+        errors, bn,
+        {"partial": bool, "critical_path_cycles": (int, float),
+         "binding": str, "pcie_link_utilization": (int, float),
+         "resource_cycles": dict, "whatif": list}, ctx)
+    if bn.get("binding") not in RESOURCE_CLASSES:
+        fail(errors, f"{ctx}: unknown binding {bn.get('binding')!r}")
+    cycles = bn.get("critical_path_cycles")
+    attribution = check_resource_cycles(errors, bn.get("resource_cycles"),
+                                        f"{ctx}.resource_cycles")
+    if attribution is not None and isinstance(cycles, (int, float)):
+        if fold_sum(attribution) != cycles:
+            fail(errors, f"{ctx}.resource_cycles: fold-sum "
+                 f"{fold_sum(attribution)!r} != critical_path_cycles "
+                 f"{cycles!r} (attribution must be exact)")
+    check_whatifs(errors, bn.get("whatif"), bn.get("partial"), cycles,
+                  f"{ctx}.whatif")
+
 
 def fail(errors, msg):
     errors.append(msg)
@@ -129,6 +225,9 @@ def validate(doc):
         if isinstance(run.get("params"), dict):
             check_typed_keys(errors, run["params"], REQUIRED_PARAM_KEYS,
                              f"{ctx}.params")
+        bottleneck = run.get("bottleneck")
+        if bottleneck is not None:
+            check_bottleneck(errors, bottleneck, f"{ctx}.bottleneck")
         adaptivity = run.get("adaptivity")
         if adaptivity is not None:
             if not isinstance(adaptivity, dict):
@@ -367,11 +466,110 @@ def validate_check(doc):
     return errors
 
 
+CRITPATH_SPAN_KEYS = {
+    "index": (int, float),
+    "kind": str,
+    "name": str,
+    "phase": str,
+    "stream": (int, float),
+    "start": (int, float),
+    "end": (int, float),
+    "slack": (int, float),
+}
+
+CRITPATH_COMMAND_KINDS = (
+    "kernel", "copy", "host-work", "wait-event", "synchronize",
+    "fast-forward", "create-stream",
+)
+
+
+def validate_critpath(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    check_typed_keys(
+        errors, doc,
+        {"partial": bool, "dropped_commands": (int, float),
+         "total_cycles": (int, float),
+         "critical_path_cycles": (int, float),
+         "commands": (int, float), "streams": (int, float),
+         "pcie_link_utilization": (int, float), "binding": str,
+         "resource_cycles": dict, "phases": list,
+         "critical_path_truncated": bool, "critical_path": list,
+         "top_slack": list, "whatif": list}, "document")
+    if doc.get("binding") not in RESOURCE_CLASSES:
+        fail(errors, f"unknown binding {doc.get('binding')!r}")
+    if isinstance(doc.get("streams"), (int, float)) and doc["streams"] < 1:
+        fail(errors, "streams < 1 (default stream missing)")
+    partial = doc.get("partial")
+    if partial is False and doc.get("dropped_commands"):
+        fail(errors, "dropped_commands > 0 but partial is false")
+    if partial is True and not doc.get("dropped_commands"):
+        fail(errors, "partial is true but dropped_commands is 0")
+    cp = doc.get("critical_path_cycles")
+    total = doc.get("total_cycles")
+    if isinstance(cp, (int, float)) and isinstance(total, (int, float)):
+        if not partial and cp > total:
+            fail(errors, f"critical_path_cycles {cp!r} exceeds "
+                 f"total_cycles {total!r}")
+    attribution = check_resource_cycles(errors, doc.get("resource_cycles"),
+                                        "resource_cycles")
+    if attribution is not None and isinstance(cp, (int, float)):
+        if fold_sum(attribution) != cp:
+            fail(errors, f"resource_cycles: fold-sum "
+                 f"{fold_sum(attribution)!r} != critical_path_cycles "
+                 f"{cp!r} (attribution must be exact)")
+    for i, ph in enumerate(doc.get("phases") or []):
+        ctx = f"phases[{i}]"
+        if not isinstance(ph, dict):
+            fail(errors, f"{ctx}: not an object")
+            continue
+        ctx = f"phases[{i}] ({ph.get('name', '?')})"
+        check_typed_keys(
+            errors, ph,
+            {"name": str, "invocations": (int, float),
+             "cycles": (int, float), "binding": str,
+             "attribution": dict}, ctx)
+        if ph.get("binding") not in RESOURCE_CLASSES:
+            fail(errors, f"{ctx}: unknown binding {ph.get('binding')!r}")
+        attr = check_resource_cycles(errors, ph.get("attribution"),
+                                     f"{ctx}.attribution")
+        if attr is not None and isinstance(ph.get("cycles"), (int, float)):
+            if fold_sum(attr) != ph["cycles"]:
+                fail(errors, f"{ctx}.attribution: fold-sum "
+                     f"{fold_sum(attr)!r} != cycles {ph['cycles']!r} "
+                     f"(per-phase attribution must be exact)")
+    for array in ("critical_path", "top_slack"):
+        prev_index = None
+        for i, span in enumerate(doc.get(array) or []):
+            ctx = f"{array}[{i}]"
+            if not isinstance(span, dict):
+                fail(errors, f"{ctx}: not an object")
+                continue
+            if len(span) == 1 and "index" in span:
+                continue  # elided entry (log overflow edge case)
+            check_typed_keys(errors, span, CRITPATH_SPAN_KEYS, ctx)
+            if span.get("kind") not in CRITPATH_COMMAND_KINDS:
+                fail(errors, f"{ctx}: unknown kind {span.get('kind')!r}")
+            if isinstance(span.get("slack"), (int, float)):
+                if span["slack"] < 0:
+                    fail(errors, f"{ctx}: negative slack")
+            if array == "critical_path" \
+                    and not doc.get("critical_path_truncated") \
+                    and isinstance(span.get("index"), (int, float)):
+                if prev_index is not None and span["index"] <= prev_index:
+                    fail(errors, f"{ctx}: indices not strictly increasing")
+                prev_index = span["index"]
+    check_whatifs(errors, doc.get("whatif"), partial, cp, "whatif")
+    return errors
+
+
 VALIDATORS = {
     "gamma.bench.v1": validate,
     "gamma.adaptivity.v1": validate_adaptivity,
     "gamma.metrics.v1": validate_metrics,
     "gamma.check.v1": validate_check,
+    "gamma.critpath.v1": validate_critpath,
 }
 
 
@@ -428,6 +626,11 @@ def main(argv):
                            if doc.get("checkers", {}).get(c))
         print(f"{argv[1]}: OK — {len(doc['findings'])} finding(s), "
               f"checkers {enabled or 'none'}")
+    elif schema == "gamma.critpath.v1":
+        tag = "PARTIAL" if doc.get("partial") else "complete"
+        print(f"{argv[1]}: OK — {tag}, {doc['commands']} commands, "
+              f"bound on {doc['binding']}, "
+              f"{len(doc.get('whatif', []))} what-ifs")
     else:
         print(f"{argv[1]}: OK — {len(doc['samples'])} samples, "
               f"{len(doc['columns'])} columns")
