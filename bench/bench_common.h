@@ -125,6 +125,9 @@ struct BenchRun {
   gpusim::ResourceClass binding = gpusim::ResourceClass::kSyncIdle;
   gpusim::ResourceCycles resource_cycles{};
   std::vector<prof::WhatIf> whatifs;
+  /// Compiled-plan summary when the variant ran through the pattern
+  /// compiler (plan.enabled stays false otherwise; no JSON is emitted).
+  core::PlanSummary plan;
 };
 
 /// Collects every RegisterSim run of a bench binary and writes one
@@ -220,6 +223,16 @@ class BenchJson {
           w.EndObject();
         }
         w.EndArray();
+        w.EndObject();
+      }
+      if (r.plan.enabled) {
+        w.Key("plan").BeginObject();
+        w.Key("kind").Value(r.plan.kind);
+        w.Key("order").BeginArray();
+        for (int v : r.plan.order) w.Value(v);
+        w.EndArray();
+        w.Key("levels").Value(r.plan.levels);
+        w.Key("symmetry_broken").Value(r.plan.symmetry_broken);
         w.EndObject();
       }
       if (r.adaptivity.enabled) {
@@ -360,6 +373,15 @@ inline void ReportAdaptivity(benchmark::State& state,
   if (!summary.enabled) return;
   state.counters["regret_cy"] = summary.regret_cycles;
   if (BenchRun* r = BenchJson::Get().Current()) r->adaptivity = summary;
+}
+
+/// Attaches a run's compiled-plan summary to the current BenchJson
+/// record (emitted as the exact-valued "plan" object).
+inline void ReportPlan(benchmark::State& state,
+                       const core::PlanSummary& summary) {
+  (void)state;
+  if (!summary.enabled) return;
+  if (BenchRun* r = BenchJson::Get().Current()) r->plan = summary;
 }
 
 /// Registers a single-shot manual-time benchmark. The installed

@@ -51,6 +51,7 @@ void BM_MemorySm(benchmark::State& state, std::string dataset, System sys) {
     }
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
+    bench::ReportPlan(state, r.value().plan);
     ReportMemory(state, r.value());
   }
 }
@@ -72,6 +73,7 @@ void BM_MemoryKcl(benchmark::State& state, std::string dataset,
     }
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
+    bench::ReportPlan(state, r.value().plan);
     ReportMemory(state, r.value());
   }
 }
@@ -95,6 +97,7 @@ void BM_MemoryFpm(benchmark::State& state, std::string dataset,
     }
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
+    bench::ReportPlan(state, r.value().plan);
     ReportMemory(state, r.value());
   }
 }

@@ -33,6 +33,7 @@ void BM_HybridSm(benchmark::State& state, std::string dataset,
     }
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
+    bench::ReportPlan(state, r.value().plan);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -50,6 +51,7 @@ void BM_HybridKcl(benchmark::State& state, std::string dataset,
     }
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
+    bench::ReportPlan(state, r.value().plan);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -67,6 +69,7 @@ void BM_HybridFpm(benchmark::State& state, std::string dataset,
     }
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
+    bench::ReportPlan(state, r.value().plan);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }

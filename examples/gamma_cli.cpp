@@ -7,20 +7,26 @@
 //   gamma_cli --dataset CP --task sm --query 2 --placement zerocopy
 //   gamma_cli --dataset ER --task fpm --minsup 300 --strategy naive
 //   gamma_cli --graph my_edges.txt --task motif --k 3
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "algos/fpm.h"
 #include "algos/kclique.h"
 #include "algos/motif.h"
 #include "algos/subgraph_matching.h"
 #include "baselines/presets.h"
+#include "core/compiled_engine.h"
 #include "core/gamma.h"
+#include "core/pattern_compiler.h"
 #include "graph/datasets.h"
 #include "graph/loader.h"
 #include "gpusim/critpath.h"
@@ -35,9 +41,13 @@ struct CliOptions {
   std::string dataset = "CP";
   std::string graph_path;
   std::string task = "kcl";
+  bool task_set = false;
   int k = 3;
   int query = 1;
   std::string pattern_text;
+  std::string pattern_preset;
+  std::string plan_out;
+  bool plan_auto = false;
   int fpm_edges = 3;
   uint64_t minsup = 0;  // 0 = |E|/10
   std::string placement = "hybrid";
@@ -71,7 +81,21 @@ void Usage() {
       "  --task T           kcl | sm | fpm | motif\n"
       "  --k N              clique/motif size (default 3)\n"
       "  --query N          SM query 1..3 (Fig. 13)\n"
-      "  --pattern SPEC     custom SM pattern, e.g. 0-1,1-2,2-0;labels=0,1,*\n"
+      "  --pattern P        custom SM pattern: an inline spec like\n"
+      "                     0-1,1-2,2-0;labels=0,1,* or the path of a\n"
+      "                     pattern file ('u v' edge lines, optional\n"
+      "                     'labels l0 l1 ...' line with * wildcards,\n"
+      "                     # comments). Implies --task sm\n"
+      "  --pattern-preset N canned pattern: triangle | clique4 | clique5 |\n"
+      "                     path3 | path4 | cycle4 | cycle5 | star3 |\n"
+      "                     diamond | tailed-triangle | q1 | q2 | q3.\n"
+      "                     Implies --task sm\n"
+      "  --plan-out F       write the compiled gamma.plan.v1 plan JSON\n"
+      "                     (any task) to F\n"
+      "  --plan-auto        input-aware compilation for SM: greedy\n"
+      "                     cardinality order, automatic symmetry\n"
+      "                     breaking, statistics-driven start mode and\n"
+      "                     per-level write strategies\n"
       "  --fpm-edges N      FPM pattern size in edges (default 3)\n"
       "  --minsup N         FPM support threshold (default |E|/10)\n"
       "  --placement P      hybrid | unified | zerocopy | device | explicit\n"
@@ -134,12 +158,19 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->graph_path = next();
     } else if (a == "--task") {
       o->task = next();
+      o->task_set = true;
     } else if (a == "--k") {
       o->k = std::atoi(next());
     } else if (a == "--query") {
       o->query = std::atoi(next());
     } else if (a == "--pattern") {
       o->pattern_text = next();
+    } else if (a == "--pattern-preset") {
+      o->pattern_preset = next();
+    } else if (a == "--plan-out") {
+      o->plan_out = next();
+    } else if (a == "--plan-auto") {
+      o->plan_auto = true;
     } else if (a == "--fpm-edges") {
       o->fpm_edges = std::atoi(next());
     } else if (a == "--minsup") {
@@ -201,6 +232,106 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       return false;
     }
   }
+  // A user-supplied pattern is a subgraph-matching query unless a task
+  // was named explicitly.
+  if (!o->task_set &&
+      (!o->pattern_text.empty() || !o->pattern_preset.empty())) {
+    o->task = "sm";
+  }
+  return true;
+}
+
+// Pattern file: '#' comments, 'u v' edge lines over vertices 0..k-1, and
+// an optional 'labels l0 l1 ...' line ('*' = wildcard).
+Result<graph::Pattern> LoadPatternFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::string> labels;
+  int max_vertex = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;
+    if (first == "labels") {
+      std::string l;
+      while (tokens >> l) labels.push_back(l);
+      continue;
+    }
+    int u = std::atoi(first.c_str());
+    int v = 0;
+    if (!(tokens >> v)) {
+      return Status::InvalidArgument("bad pattern line: " + line);
+    }
+    if (u < 0 || v < 0 || u == v) {
+      return Status::InvalidArgument("bad pattern edge: " + line);
+    }
+    edges.emplace_back(u, v);
+    max_vertex = std::max({max_vertex, u, v});
+  }
+  if (edges.empty()) {
+    return Status::InvalidArgument("pattern file has no edges");
+  }
+  if (max_vertex + 1 > graph::Pattern::kMaxVertices) {
+    return Status::InvalidArgument("pattern has too many vertices");
+  }
+  if (!labels.empty() &&
+      labels.size() != static_cast<std::size_t>(max_vertex + 1)) {
+    return Status::InvalidArgument("labels line must cover every vertex");
+  }
+  graph::Pattern p(max_vertex + 1);
+  for (auto [u, v] : edges) p.AddEdge(u, v);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == "*") continue;
+    p.SetLabel(static_cast<int>(i),
+               static_cast<graph::Label>(std::atoi(labels[i].c_str())));
+  }
+  return p;
+}
+
+Result<graph::Pattern> ResolvePattern(const CliOptions& o,
+                                      const graph::Graph& g) {
+  if (!o.pattern_preset.empty()) {
+    const std::string& n = o.pattern_preset;
+    if (n == "triangle") return graph::Pattern::Triangle();
+    if (n == "clique4") return graph::Pattern::Clique(4);
+    if (n == "clique5") return graph::Pattern::Clique(5);
+    if (n == "path3") return graph::Pattern::Path(3);
+    if (n == "path4") return graph::Pattern::Path(4);
+    if (n == "cycle4") return graph::Pattern::Cycle(4);
+    if (n == "cycle5") return graph::Pattern::Cycle(5);
+    if (n == "star3") return graph::Pattern::Star(3);
+    if (n == "diamond") return graph::Pattern::Diamond();
+    if (n == "tailed-triangle") return graph::Pattern::TailedTriangle();
+    if (n == "q1") return graph::Pattern::SmQuery(1, g.num_labels());
+    if (n == "q2") return graph::Pattern::SmQuery(2, g.num_labels());
+    if (n == "q3") return graph::Pattern::SmQuery(3, g.num_labels());
+    return Status::InvalidArgument("unknown pattern preset: " + n);
+  }
+  if (!o.pattern_text.empty()) {
+    // A path on disk wins; anything else is an inline spec.
+    if (std::ifstream probe(o.pattern_text); probe) {
+      return LoadPatternFile(o.pattern_text);
+    }
+    return graph::ParsePattern(o.pattern_text);
+  }
+  return graph::Pattern::SmQuery(o.query, g.num_labels());
+}
+
+// Writes the gamma.plan.v1 document of the run's compiled plan.
+bool WritePlan(const std::string& path, const core::CompiledPlan& plan) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << plan.ToJson();
+  std::printf("plan written to %s (%s)\n", path.c_str(),
+              plan.DebugString().c_str());
   return true;
 }
 
@@ -299,22 +430,32 @@ int main(int argc, char** argv) {
     std::printf("%d-cliques: %llu (%.3f ms simulated)\n", o.k,
                 static_cast<unsigned long long>(r.value().cliques),
                 r.value().sim_millis);
-  } else if (o.task == "sm") {
-    graph::Pattern q;
-    if (!o.pattern_text.empty()) {
-      auto parsed = graph::ParsePattern(o.pattern_text);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "pattern: %s\n",
-                     parsed.status().ToString().c_str());
-        return 1;
-      }
-      q = parsed.value();
-    } else {
-      q = graph::Pattern::SmQuery(o.query, g.num_labels());
+    if (!o.plan_out.empty() && !WritePlan(o.plan_out, r.value().plan)) {
+      return 1;
     }
+  } else if (o.task == "sm") {
+    auto pattern = ResolvePattern(o, g);
+    if (!pattern.ok()) {
+      std::fprintf(stderr, "pattern: %s\n",
+                   pattern.status().ToString().c_str());
+      return 1;
+    }
+    const graph::Pattern& q = pattern.value();
     std::printf("query: %s\n", q.DebugString().c_str());
-    auto r = o.symmetric ? algos::MatchWojSymmetric(engine.get(), q)
-                         : algos::MatchWoj(engine.get(), q);
+    // Drive the pattern compiler directly: any connected (optionally
+    // labeled) pattern becomes a CompiledPlan the generic engine runs.
+    core::PatternCompiler compiler(&g);
+    core::CompileOptions copts;
+    if (o.plan_auto) {
+      copts.plan_strategy = core::PlanStrategy::kGreedyCardinality;
+      copts.break_symmetry = true;
+      copts.fold_ascending = true;
+      copts.input_aware = true;
+    } else if (o.symmetric) {
+      copts.break_symmetry = true;
+    }
+    core::CompiledPlan plan = compiler.CompileMatch(q, copts);
+    auto r = core::CompiledEngine(engine.get()).Run(plan);
     if (!r.ok()) {
       std::fprintf(stderr, "sm: %s\n", r.status().ToString().c_str());
       return 1;
@@ -323,6 +464,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.value().embeddings),
                 static_cast<unsigned long long>(r.value().instances),
                 r.value().sim_millis);
+    if (!o.plan_out.empty() && !WritePlan(o.plan_out, plan)) return 1;
   } else if (o.task == "fpm") {
     uint64_t minsup = o.minsup ? o.minsup : g.num_edges() / 10;
     auto r = algos::MineFrequentPatterns(
@@ -342,6 +484,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(e.support),
                   e.exemplar.DebugString().c_str());
     }
+    if (!o.plan_out.empty() && !WritePlan(o.plan_out, r.value().plan)) {
+      return 1;
+    }
   } else if (o.task == "motif") {
     auto r = algos::CountMotifs(engine.get(), o.k);
     if (!r.ok()) {
@@ -354,6 +499,9 @@ int main(int argc, char** argv) {
       std::printf("  %12llu x %s\n",
                   static_cast<unsigned long long>(count),
                   pattern.DebugString().c_str());
+    }
+    if (!o.plan_out.empty() && !WritePlan(o.plan_out, r.value().plan)) {
+      return 1;
     }
   } else {
     std::fprintf(stderr, "unknown task: %s\n", o.task.c_str());

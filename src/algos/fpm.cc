@@ -1,42 +1,27 @@
 #include "algos/fpm.h"
 
+#include <utility>
+
 #include "common/logging.h"
+#include "core/compiled_engine.h"
 
 namespace gpm::algos {
 
 Result<FpmResult> MineFrequentPatterns(core::GammaEngine* engine,
                                        const FpmOptions& options) {
   GAMMA_CHECK(options.max_edges >= 1) << "need at least one iteration";
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompiledPlan plan =
+      compiler.CompileFpm(options.max_edges, options.min_support);
+  auto run = core::CompiledEngine(engine).Run(plan);
+  if (!run.ok()) return run.status();
+
   FpmResult result;
-  gpusim::Device* device = engine->device();
-  const double start = device->now_cycles();
-
-  auto table = engine->InitEdgeTable();
-  if (!table.ok()) return table.status();
-  core::EmbeddingTable* et = table.value().get();
-
-  for (int i = 1; i <= options.max_edges; ++i) {
-    // PT = PT ∪ Aggregation(ET, m_f)
-    auto agg = engine->Aggregation(*et, &result.patterns);
-    if (!agg.ok()) return agg.status();
-    // Filtering(ET, PT, sup_min): invalidate infrequent patterns and drop
-    // their instances.
-    result.patterns.InvalidateBelow(options.min_support);
-    engine->Filtering(et, agg.value().codes, result.patterns);
-    result.patterns.EraseInvalid();
-    result.aggregations.push_back(std::move(agg).value());
-
-    if (i < options.max_edges) {
-      core::EdgeExtensionSpec spec;
-      spec.canonical_only = true;
-      auto stats = engine->EdgeExtension(et, spec);
-      if (!stats.ok()) return stats.status();
-      result.steps.push_back(stats.value());
-    }
-  }
-
-  result.sim_millis =
-      device->params().CyclesToMillis(device->now_cycles() - start);
+  result.patterns = std::move(run.value().patterns);
+  result.sim_millis = run.value().sim_millis;
+  result.steps = std::move(run.value().steps);
+  result.aggregations = std::move(run.value().aggregations);
+  result.plan = std::move(plan);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/gamma.h"
+#include "core/pattern_compiler.h"
 
 namespace gpm::algos {
 
@@ -21,9 +22,11 @@ struct FpmResult {
   double sim_millis = 0;
   std::vector<core::ExtensionStats> steps;
   std::vector<core::AggregationResult> aggregations;
+  core::CompiledPlan plan;  ///< the compiled plan the run executed
 };
 
-/// Frequent pattern mining (Algorithm 2): starting from all length-1 edge
+/// Frequent pattern mining (Algorithm 2): the FPM preset of the pattern
+/// compiler run on the compiled engine — starting from all length-1 edge
 /// embeddings, alternate aggregation (pattern support), filtering (drop
 /// instances of infrequent patterns), and edge extension.
 Result<FpmResult> MineFrequentPatterns(core::GammaEngine* engine,

@@ -1,6 +1,7 @@
 #include "algos/kclique.h"
 
 #include "common/logging.h"
+#include "core/compiled_engine.h"
 #include "graph/reorder.h"
 
 namespace gpm::algos {
@@ -8,35 +9,16 @@ namespace gpm::algos {
 Result<KCliqueResult> CountKCliques(core::GammaEngine* engine, int k,
                                     bool count_only_last) {
   GAMMA_CHECK(k >= 2) << "k must be at least 2";
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompiledPlan plan = compiler.CompileKClique(k, count_only_last);
+  auto run = core::CompiledEngine(engine).Run(plan);
+  if (!run.ok()) return run.status();
+
   KCliqueResult result;
-  gpusim::Device* device = engine->device();
-  const double start = device->now_cycles();
-
-  auto table = engine->InitVertexTable();
-  if (!table.ok()) return table.status();
-  core::EmbeddingTable* et = table.value().get();
-
-  const bool saved_count_only =
-      engine->options().extension.count_only;
-  for (int depth = 1; depth < k; ++depth) {
-    core::VertexExtensionSpec spec;
-    // A clique candidate must be adjacent to every matched vertex.
-    for (int j = 0; j < depth; ++j) spec.intersect_positions.push_back(j);
-    spec.require_ascending = true;  // enumerate sorted tuples only
-    spec.enforce_injective = true;
-    const bool final_level = depth == k - 1;
-    engine->mutable_options().extension.count_only =
-        saved_count_only || (count_only_last && final_level);
-    auto stats = engine->VertexExtension(et, spec);
-    engine->mutable_options().extension.count_only = saved_count_only;
-    if (!stats.ok()) return stats.status();
-    result.steps.push_back(stats.value());
-    if (final_level) result.cliques = stats.value().results;
-  }
-  if (!count_only_last) result.cliques = et->num_embeddings();
-
-  result.sim_millis =
-      device->params().CyclesToMillis(device->now_cycles() - start);
+  result.cliques = run.value().embeddings;
+  result.sim_millis = run.value().sim_millis;
+  result.steps = std::move(run.value().steps);
+  result.plan = std::move(plan);
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/gamma.h"
+#include "core/pattern_compiler.h"
 
 namespace gpm::algos {
 
@@ -13,14 +14,16 @@ struct KCliqueResult {
   uint64_t cliques = 0;  ///< k-cliques, each counted once
   double sim_millis = 0;
   std::vector<core::ExtensionStats> steps;
+  core::CompiledPlan plan;  ///< the compiled plan the run executed
 };
 
-/// k-clique counting/listing on GAMMA: vertex extension intersecting the
-/// adjacency of every matched vertex, with ascending vertex ids for
-/// dedup-free enumeration (each clique appears exactly once as its sorted
-/// vertex tuple). With `count_only_last`, the final extension tallies
-/// cliques without materializing the last column (counting workloads
-/// never read it).
+/// k-clique counting/listing on GAMMA: a preset of the pattern compiler
+/// (Clique(k) with symmetry folding) run on the compiled engine. The
+/// clique's automorphism restrictions fold into ascending-id extensions
+/// intersecting the adjacency of every matched vertex, so each clique
+/// appears exactly once as its sorted vertex tuple. With
+/// `count_only_last`, the final extension tallies cliques without
+/// materializing the last column (counting workloads never read it).
 Result<KCliqueResult> CountKCliques(core::GammaEngine* engine, int k,
                                     bool count_only_last);
 inline Result<KCliqueResult> CountKCliques(core::GammaEngine* engine,

@@ -1,64 +1,27 @@
 #include "algos/motif.h"
 
-#include <algorithm>
-#include <numeric>
-#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
-#include "graph/canonical.h"
-#include "graph/isomorphism.h"
+#include "core/compiled_engine.h"
 
 namespace gpm::algos {
 
 uint64_t CountConnectedOrderings(const graph::Pattern& p) {
-  const int n = p.num_vertices();
-  std::vector<int> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  uint64_t count = 0;
-  do {
-    if (p.ConnectedPrefix(perm)) ++count;
-  } while (std::next_permutation(perm.begin(), perm.end()));
-  return count;
+  return graph::CountConnectedOrderings(p);
 }
 
 Result<MotifResult> CountMotifs(core::GammaEngine* engine, int k) {
   GAMMA_CHECK(k >= 2 && k <= 5) << "motif size out of supported range";
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompiledPlan plan = compiler.CompileMotifCensus(k);
+  auto run = core::CompiledEngine(engine).Run(plan);
+  if (!run.ok()) return run.status();
+
   MotifResult result;
-  gpusim::Device* device = engine->device();
-  const double start = device->now_cycles();
-
-  auto table = engine->InitVertexTable();
-  if (!table.ok()) return table.status();
-  core::EmbeddingTable* et = table.value().get();
-
-  for (int depth = 1; depth < k; ++depth) {
-    core::VertexExtensionSpec spec;  // empty positions = union semantics
-    spec.enforce_injective = true;
-    auto stats = engine->VertexExtension(et, spec);
-    if (!stats.ok()) return stats.status();
-  }
-
-  // Aggregate by unlabeled induced shape. Motif counting is unlabeled and
-  // induced by definition (PatternOfVertices already reports every edge
-  // among the matched vertices).
-  core::PatternTable pt;
-  core::AggregationOptions agg_options = engine->options().aggregation;
-  agg_options.use_labels = false;
-  auto agg =
-      core::Aggregate(*et, &engine->accessor(), &pt, agg_options);
-  if (!agg.ok()) return agg.status();
-
-  for (const core::PatternEntry& e : pt.entries()) {
-    uint64_t orderings = CountConnectedOrderings(e.exemplar);
-    GAMMA_CHECK(orderings > 0) << "disconnected motif shape";
-    result.motifs.emplace_back(e.exemplar, e.support / orderings);
-  }
-  std::sort(result.motifs.begin(), result.motifs.end(),
-            [](const auto& a, const auto& b) {
-              return a.first.num_edges() < b.first.num_edges();
-            });
-  result.sim_millis =
-      device->params().CyclesToMillis(device->now_cycles() - start);
+  result.motifs = std::move(run.value().motifs);
+  result.sim_millis = run.value().sim_millis;
+  result.plan = std::move(plan);
   return result;
 }
 

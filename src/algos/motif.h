@@ -2,11 +2,12 @@
 #define GAMMA_ALGOS_MOTIF_H_
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "common/status.h"
 #include "core/gamma.h"
+#include "core/pattern_compiler.h"
+#include "graph/isomorphism.h"
 #include "graph/pattern.h"
 
 namespace gpm::algos {
@@ -16,18 +17,20 @@ struct MotifResult {
   /// subgraphs of that shape).
   std::vector<std::pair<graph::Pattern, uint64_t>> motifs;
   double sim_millis = 0;
+  core::CompiledPlan plan;  ///< the compiled plan the run executed
 };
 
-/// Counts connected k-vertex motifs (unlabeled shapes) with GAMMA's
-/// union-neighborhood vertex extension plus aggregation. Each connected
-/// vertex set is enumerated once per connected-prefix ordering, so per
-/// shape the embedding count is divided by the shape's number of
-/// connected-prefix orderings.
+/// Counts connected k-vertex motifs (unlabeled shapes): the motif-census
+/// preset of the pattern compiler — union-neighborhood vertex extensions
+/// plus shape aggregation on the compiled engine. Each connected vertex
+/// set is enumerated once per connected-prefix ordering, so per shape the
+/// embedding count is divided by the shape's number of connected-prefix
+/// orderings.
 Result<MotifResult> CountMotifs(core::GammaEngine* engine, int k);
 
 /// Number of vertex orderings of `p` whose every prefix is connected —
-/// the per-instance multiplicity of union-extension enumeration. Exposed
-/// for tests.
+/// the per-instance multiplicity of union-extension enumeration. Forwards
+/// to graph::CountConnectedOrderings; kept for source compatibility.
 uint64_t CountConnectedOrderings(const graph::Pattern& p);
 
 }  // namespace gpm::algos

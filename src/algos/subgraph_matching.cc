@@ -1,111 +1,21 @@
 #include "algos/subgraph_matching.h"
 
-#include <algorithm>
-#include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
-#include "common/random.h"
-#include "core/symmetry.h"
+#include "core/compiled_engine.h"
 
 namespace gpm::algos {
 namespace {
 
-using core::Unit;
-using graph::VertexId;
-
-bool LabelOk(const graph::Graph& g, const graph::Pattern& q, int qv,
-             VertexId dv) {
-  return q.label(qv) == graph::Pattern::kAnyLabel ||
-         q.label(qv) == g.label(dv);
-}
-
-// Connected ordering of the query's edges: every edge after the first
-// shares a vertex with an earlier one.
-std::vector<std::pair<int, int>> ConnectedEdgeOrder(
-    const graph::Pattern& q) {
-  std::vector<std::pair<int, int>> remaining = q.EdgeList();
-  std::vector<std::pair<int, int>> order;
-  std::vector<bool> seen(q.num_vertices(), false);
-  while (!remaining.empty()) {
-    std::size_t pick = remaining.size();
-    if (order.empty()) {
-      pick = 0;
-    } else {
-      for (std::size_t i = 0; i < remaining.size(); ++i) {
-        if (seen[remaining[i].first] || seen[remaining[i].second]) {
-          pick = i;
-          break;
-        }
-      }
-      GAMMA_CHECK(pick < remaining.size()) << "query graph not connected";
-    }
-    seen[remaining[pick].first] = true;
-    seen[remaining[pick].second] = true;
-    order.push_back(remaining[pick]);
-    remaining.erase(remaining.begin() + pick);
-  }
-  return order;
-}
-
-// Backtracking assignment of query vertices to data vertices consistent
-// with the edge sequence; both orientations of each data edge are tried.
-bool TryAssign(const graph::Graph& g,
-               const std::vector<graph::EdgeId>& edges,
-               const graph::Pattern& query,
-               const std::vector<std::pair<int, int>>& query_edges,
-               std::size_t idx, std::vector<int>& qv_to_dv,
-               std::vector<int>& dv_owner_qv,
-               std::vector<VertexId>& bound_dvs) {
-  if (idx == edges.size()) return true;
-  auto [qa, qb] = query_edges[idx];
-  const graph::Edge& e = g.edge_list()[edges[idx]];
-  const VertexId ends[2] = {e.u, e.v};
-  for (int o = 0; o < 2; ++o) {
-    VertexId da = ends[o];
-    VertexId db = ends[1 - o];
-    if (!LabelOk(g, query, qa, da) || !LabelOk(g, query, qb, db)) continue;
-    // Binding checks: each query vertex maps to one data vertex and
-    // vice versa (injective).
-    auto find_owner = [&](VertexId dv) {
-      for (std::size_t i = 0; i < bound_dvs.size(); ++i) {
-        if (bound_dvs[i] == dv) return dv_owner_qv[i];
-      }
-      return -1;
-    };
-    int owner_a = find_owner(da);
-    int owner_b = find_owner(db);
-    if (qv_to_dv[qa] >= 0 && qv_to_dv[qa] != static_cast<int>(da)) continue;
-    if (qv_to_dv[qb] >= 0 && qv_to_dv[qb] != static_cast<int>(db)) continue;
-    if (owner_a >= 0 && owner_a != qa) continue;
-    if (owner_b >= 0 && owner_b != qb) continue;
-    // Bind (remember what we added to undo on backtrack).
-    int added = 0;
-    int prev_a = qv_to_dv[qa];
-    int prev_b = qv_to_dv[qb];
-    if (qv_to_dv[qa] < 0) {
-      qv_to_dv[qa] = static_cast<int>(da);
-      dv_owner_qv.push_back(qa);
-      bound_dvs.push_back(da);
-      ++added;
-    }
-    if (qv_to_dv[qb] < 0) {
-      qv_to_dv[qb] = static_cast<int>(db);
-      dv_owner_qv.push_back(qb);
-      bound_dvs.push_back(db);
-      ++added;
-    }
-    if (TryAssign(g, edges, query, query_edges, idx + 1, qv_to_dv,
-                  dv_owner_qv, bound_dvs)) {
-      return true;
-    }
-    for (int i = 0; i < added; ++i) {
-      dv_owner_qv.pop_back();
-      bound_dvs.pop_back();
-    }
-    qv_to_dv[qa] = prev_a;
-    qv_to_dv[qb] = prev_b;
-  }
-  return false;
+SmResult ProjectSm(core::CompiledRunResult&& run, core::CompiledPlan&& plan) {
+  SmResult result;
+  result.embeddings = run.embeddings;
+  result.instances = run.instances;
+  result.sim_millis = run.sim_millis;
+  result.steps = std::move(run.steps);
+  result.plan = std::move(plan);
+  return result;
 }
 
 }  // namespace
@@ -114,160 +24,53 @@ bool MatchesQueryPrefix(
     const graph::Graph& g, const std::vector<graph::EdgeId>& edges,
     const graph::Pattern& query,
     const std::vector<std::pair<int, int>>& query_edges) {
-  GAMMA_CHECK(edges.size() <= query_edges.size()) << "prefix too long";
-  std::vector<int> qv_to_dv(query.num_vertices(), -1);
-  std::vector<int> dv_owner;
-  std::vector<VertexId> bound;
-  return TryAssign(g, edges, query, query_edges, 0, qv_to_dv, dv_owner,
-                   bound);
+  return graph::MatchesQueryPrefix(g, edges, query, query_edges);
 }
 
 Result<SmResult> MatchWojWithPlan(core::GammaEngine* engine,
                                   const graph::Pattern& query,
                                   const core::WojPlan& plan) {
-  SmResult result;
-  gpusim::Device* device = engine->device();
-  const double start = device->now_cycles();
-  const std::vector<int>& order = plan.order;
-  GAMMA_CHECK(static_cast<int>(order.size()) == query.num_vertices())
+  GAMMA_CHECK(static_cast<int>(plan.order.size()) == query.num_vertices())
       << "plan order size mismatch";
-
-  auto table = engine->InitVertexTable(query.label(order[0]));
-  if (!table.ok()) return table.status();
-  core::EmbeddingTable* et = table.value().get();
-
-  for (std::size_t d = 1; d < order.size(); ++d) {
-    core::VertexExtensionSpec spec;
-    spec.intersect_positions = plan.backward[d];
-    GAMMA_CHECK(!spec.intersect_positions.empty())
-        << "matching order prefix not connected";
-    spec.candidate_label = query.label(order[d]);
-    spec.enforce_injective = true;
-    auto stats = engine->VertexExtension(et, spec);
-    if (!stats.ok()) return stats.status();
-    result.steps.push_back(stats.value());
-  }
-
-  result.embeddings = et->num_embeddings();
-  result.instances =
-      result.embeddings /
-      static_cast<uint64_t>(query.CountAutomorphisms());
-  result.sim_millis =
-      device->params().CyclesToMillis(device->now_cycles() - start);
-  return result;
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompiledPlan compiled =
+      compiler.CompileMatchWithPlan(query, plan, core::CompileOptions{});
+  auto run = core::CompiledEngine(engine).Run(compiled);
+  if (!run.ok()) return run.status();
+  return ProjectSm(std::move(run).value(), std::move(compiled));
 }
 
 Result<SmResult> MatchWoj(core::GammaEngine* engine,
                           const graph::Pattern& query) {
-  core::WojPlan plan = core::BuildWojPlan(engine->graph(), query,
-                                          core::PlanStrategy::kStructural);
-  return MatchWojWithPlan(engine, query, plan);
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompiledPlan compiled =
+      compiler.CompileMatch(query, core::CompileOptions{});
+  auto run = core::CompiledEngine(engine).Run(compiled);
+  if (!run.ok()) return run.status();
+  return ProjectSm(std::move(run).value(), std::move(compiled));
 }
 
 Result<SmResult> MatchWojSymmetric(core::GammaEngine* engine,
                                    const graph::Pattern& query) {
-  SmResult result;
-  gpusim::Device* device = engine->device();
-  const double start = device->now_cycles();
-  core::WojPlan plan = core::BuildWojPlan(engine->graph(), query,
-                                          core::PlanStrategy::kStructural);
-  const std::vector<int>& order = plan.order;
-  const std::vector<core::SymmetryRestriction> restrictions =
-      core::BreakSymmetry(query, order);
-
-  auto table = engine->InitVertexTable(query.label(order[0]));
-  if (!table.ok()) return table.status();
-  core::EmbeddingTable* et = table.value().get();
-
-  for (std::size_t d = 1; d < order.size(); ++d) {
-    core::VertexExtensionSpec spec;
-    spec.intersect_positions = plan.backward[d];
-    spec.candidate_label = query.label(order[d]);
-    spec.enforce_injective = true;
-    // Apply every restriction whose later position is the one being
-    // matched now (the earlier side is already in the embedding).
-    std::vector<core::SymmetryRestriction> applicable;
-    for (const auto& r : restrictions) {
-      if (r.larger_pos == static_cast<int>(d) &&
-          r.smaller_pos < static_cast<int>(d)) {
-        applicable.push_back(r);
-      }
-      if (r.smaller_pos == static_cast<int>(d) &&
-          r.larger_pos < static_cast<int>(d)) {
-        applicable.push_back(r);
-      }
-    }
-    if (!applicable.empty()) {
-      spec.post_filter = [applicable, d](std::span<const core::Unit> emb,
-                                         core::Unit cand) {
-        for (const auto& r : applicable) {
-          if (r.larger_pos == static_cast<int>(d)) {
-            if (!(emb[r.smaller_pos] < cand)) return false;
-          } else {
-            if (!(cand < emb[r.larger_pos])) return false;
-          }
-        }
-        return true;
-      };
-    }
-    auto stats = engine->VertexExtension(et, spec);
-    if (!stats.ok()) return stats.status();
-    result.steps.push_back(stats.value());
-  }
-
-  result.embeddings = et->num_embeddings();
-  result.instances = result.embeddings;  // one row per instance
-  result.sim_millis =
-      device->params().CyclesToMillis(device->now_cycles() - start);
-  return result;
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompileOptions options;
+  // fold_ascending stays off: the legacy symmetric matcher always applied
+  // restrictions as a post-filter, and inherit-mode runs reproduce it
+  // bit-for-bit.
+  options.break_symmetry = true;
+  core::CompiledPlan compiled = compiler.CompileMatch(query, options);
+  auto run = core::CompiledEngine(engine).Run(compiled);
+  if (!run.ok()) return run.status();
+  return ProjectSm(std::move(run).value(), std::move(compiled));
 }
 
 Result<SmResult> MatchBinaryJoin(core::GammaEngine* engine,
                                  const graph::Pattern& query) {
-  SmResult result;
-  gpusim::Device* device = engine->device();
-  const graph::Graph& g = engine->graph();
-  const double start = device->now_cycles();
-  const std::vector<std::pair<int, int>> query_edges =
-      ConnectedEdgeOrder(query);
-
-  auto table = engine->InitEdgeTable();
-  if (!table.ok()) return table.status();
-  core::EmbeddingTable* et = table.value().get();
-
-  // Filter the length-1 table down to edges matching the first query edge.
-  engine->Filtering(et, [&](std::span<const Unit> emb) {
-    std::vector<graph::EdgeId> edges(emb.begin(), emb.end());
-    return MatchesQueryPrefix(g, edges, query, query_edges);
-  });
-
-  for (std::size_t k = 1; k < query_edges.size(); ++k) {
-    core::EdgeExtensionSpec spec;
-    spec.canonical_only = false;  // order is dictated by the query plan
-    spec.post_filter = [&](std::span<const Unit> emb, Unit cand) {
-      std::vector<graph::EdgeId> edges(emb.begin(), emb.end());
-      edges.push_back(cand);
-      return MatchesQueryPrefix(g, edges, query, query_edges);
-    };
-    auto stats = engine->EdgeExtension(et, spec);
-    if (!stats.ok()) return stats.status();
-    result.steps.push_back(stats.value());
-  }
-
-  result.embeddings = et->num_embeddings();
-  // Distinct instances = distinct edge sets among the matched sequences.
-  std::unordered_set<uint64_t> distinct;
-  for (const auto& emb : et->Materialize()) {
-    std::vector<Unit> sorted(emb.begin(), emb.end());
-    std::sort(sorted.begin(), sorted.end());
-    uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (Unit u : sorted) h = Mix64(h ^ u);
-    distinct.insert(h);
-  }
-  result.instances = distinct.size();
-  result.sim_millis =
-      device->params().CyclesToMillis(device->now_cycles() - start);
-  return result;
+  core::PatternCompiler compiler(&engine->graph());
+  core::CompiledPlan compiled = compiler.CompileEdgeJoin(query);
+  auto run = core::CompiledEngine(engine).Run(compiled);
+  if (!run.ok()) return run.status();
+  return ProjectSm(std::move(run).value(), std::move(compiled));
 }
 
 }  // namespace gpm::algos

@@ -2,11 +2,14 @@
 #define GAMMA_ALGOS_SUBGRAPH_MATCHING_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "core/gamma.h"
+#include "core/pattern_compiler.h"
 #include "core/plan.h"
+#include "graph/isomorphism.h"
 #include "graph/pattern.h"
 
 namespace gpm::algos {
@@ -17,13 +20,15 @@ struct SmResult {
   uint64_t instances = 0;   ///< embeddings / |Aut(query)|
   double sim_millis = 0;    ///< simulated time consumed by the run
   std::vector<core::ExtensionStats> steps;
+  core::CompiledPlan plan;  ///< the compiled plan the run executed
 };
 
 /// Worst-case-optimal-join subgraph matching (Algorithm 1): one query
 /// vertex per iteration via vertex extension; extensions intersect the
 /// adjacency lists of all matched backward neighbors and are filtered by
 /// label immediately (the pruning-inside-extension the paper describes).
-/// Uses the structural matching order.
+/// A pattern-compiler preset (structural order, no symmetry breaking) run
+/// on the compiled engine.
 Result<SmResult> MatchWoj(core::GammaEngine* engine,
                           const graph::Pattern& query);
 
@@ -36,8 +41,8 @@ Result<SmResult> MatchWojWithPlan(core::GammaEngine* engine,
 /// WOJ matching with automorphism symmetry breaking (core/symmetry.h):
 /// ordering restrictions make each instance appear exactly once, so the
 /// embedding table holds `instances` rows instead of |Aut| times as many —
-/// the pattern-aware trick CPU frameworks like Peregrine use, here built
-/// from GAMMA's primitives.
+/// the pattern-aware trick CPU frameworks like Peregrine use, here derived
+/// automatically by the pattern compiler.
 Result<SmResult> MatchWojSymmetric(core::GammaEngine* engine,
                                    const graph::Pattern& query);
 
@@ -50,7 +55,8 @@ Result<SmResult> MatchBinaryJoin(core::GammaEngine* engine,
 /// True when the edge-id sequence `edges` (in order) can be mapped to the
 /// first `edges.size()` edges of `query_edges` (pairs over query vertices,
 /// with `query` supplying labels) by a consistent injective vertex
-/// assignment. Exposed for tests.
+/// assignment. Forwards to graph::MatchesQueryPrefix; kept for source
+/// compatibility.
 bool MatchesQueryPrefix(const graph::Graph& g,
                         const std::vector<graph::EdgeId>& edges,
                         const graph::Pattern& query,

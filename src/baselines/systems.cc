@@ -9,7 +9,8 @@ namespace gpm::baselines {
 namespace {
 
 GpuRunResult Snapshot(gpusim::Device* device, core::GammaEngine* engine,
-                      uint64_t count, double sim_millis) {
+                      uint64_t count, double sim_millis,
+                      const core::CompiledPlan* plan = nullptr) {
   GpuRunResult r;
   r.count = count;
   r.sim_millis = sim_millis;
@@ -18,6 +19,7 @@ GpuRunResult Snapshot(gpusim::Device* device, core::GammaEngine* engine,
   if (engine != nullptr && engine->audit() != nullptr) {
     r.adaptivity = engine->audit()->Summary();
   }
+  if (plan != nullptr) r.plan = plan->Summary();
   return r;
 }
 
@@ -52,7 +54,7 @@ Result<GpuRunResult> PangolinGpuKClique(gpusim::Device* device,
   auto run = algos::CountKCliques(&engine, k);
   if (!run.ok()) return run.status();
   return Snapshot(device, &engine, run.value().cliques,
-                  run.value().sim_millis);
+                  run.value().sim_millis, &run.value().plan);
 }
 
 Result<GpuRunResult> PangolinGpuFpm(gpusim::Device* device,
@@ -66,7 +68,7 @@ Result<GpuRunResult> PangolinGpuFpm(gpusim::Device* device,
       &engine, {.max_edges = max_edges, .min_support = min_support});
   if (!run.ok()) return run.status();
   return Snapshot(device, &engine, run.value().patterns.size(),
-                  run.value().sim_millis);
+                  run.value().sim_millis, &run.value().plan);
 }
 
 Result<GpuRunResult> GsiMatch(gpusim::Device* device, const graph::Graph& g,
@@ -78,7 +80,7 @@ Result<GpuRunResult> GsiMatch(gpusim::Device* device, const graph::Graph& g,
   auto run = algos::MatchWoj(&engine, query);
   if (!run.ok()) return run.status();
   return Snapshot(device, &engine, run.value().embeddings,
-                  run.value().sim_millis);
+                  run.value().sim_millis, &run.value().plan);
 }
 
 Result<GpuRunResult> GammaKClique(gpusim::Device* device,
@@ -90,7 +92,7 @@ Result<GpuRunResult> GammaKClique(gpusim::Device* device,
   auto run = algos::CountKCliques(&engine, k);
   if (!run.ok()) return run.status();
   return Snapshot(device, &engine, run.value().cliques,
-                  run.value().sim_millis);
+                  run.value().sim_millis, &run.value().plan);
 }
 
 Result<GpuRunResult> GammaMatch(gpusim::Device* device,
@@ -103,7 +105,7 @@ Result<GpuRunResult> GammaMatch(gpusim::Device* device,
   auto run = algos::MatchWoj(&engine, query);
   if (!run.ok()) return run.status();
   return Snapshot(device, &engine, run.value().embeddings,
-                  run.value().sim_millis);
+                  run.value().sim_millis, &run.value().plan);
 }
 
 Result<GpuRunResult> GammaFpm(gpusim::Device* device, const graph::Graph& g,
@@ -116,7 +118,7 @@ Result<GpuRunResult> GammaFpm(gpusim::Device* device, const graph::Graph& g,
       &engine, {.max_edges = max_edges, .min_support = min_support});
   if (!run.ok()) return run.status();
   return Snapshot(device, &engine, run.value().patterns.size(),
-                  run.value().sim_millis);
+                  run.value().sim_millis, &run.value().plan);
 }
 
 CpuRunResult PeregrineKClique(const graph::Graph& g, int k) {

@@ -7,6 +7,7 @@
 #include "baselines/cpu_ref.h"
 #include "common/status.h"
 #include "core/gamma.h"
+#include "core/pattern_compiler.h"
 #include "graph/pattern.h"
 #include "gpusim/device.h"
 
@@ -23,6 +24,9 @@ struct GpuRunResult {
   /// Whole-run adaptivity-audit totals (enabled=false when the run's
   /// GammaOptions did not request an audit).
   core::AdaptivitySummary adaptivity;
+  /// Compiled-plan summary of the run (enabled=false for systems that do
+  /// not run through the pattern compiler).
+  core::PlanSummary plan;
 };
 
 /// CPU system models as configured for the paper's comparisons.

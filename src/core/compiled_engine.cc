@@ -1,0 +1,195 @@
+#include "core/compiled_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/isomorphism.h"
+
+namespace gpm::core {
+
+Result<CompiledRunResult> CompiledEngine::Run(const CompiledPlan& plan) {
+  switch (plan.kind) {
+    case PlanKind::kSubgraphMatch:
+    case PlanKind::kMotifCensus:
+      return RunVertexPlan(plan);
+    case PlanKind::kFrequentMining:
+      return RunFrequentMining(plan);
+    case PlanKind::kEdgeJoin:
+      return RunEdgeJoin(plan);
+  }
+  return Status::InvalidArgument("unknown plan kind");
+}
+
+Result<CompiledRunResult> CompiledEngine::RunVertexPlan(
+    const CompiledPlan& plan) {
+  CompiledRunResult result;
+  gpusim::Device* device = engine_->device();
+  const double start = device->now_cycles();
+
+  auto table =
+      plan.start == StartMode::kEdgeParallel
+          ? engine_->InitVertexPairTable(plan.start_label, plan.second_label,
+                                         plan.start_ascending)
+          : engine_->InitVertexTable(plan.start_label);
+  if (!table.ok()) return table.status();
+  EmbeddingTable* et = table.value().get();
+
+  const ExtensionOptions saved = engine_->options().extension;
+  uint64_t last_count = 0;
+  bool counted_only = false;
+  for (std::size_t i = 0; i < plan.levels.size(); ++i) {
+    const CompiledLevel& level = plan.levels[i];
+    const int depth = plan.first_depth() + static_cast<int>(i);
+    VertexExtensionSpec spec;
+    spec.intersect_positions = level.intersect_positions;
+    spec.candidate_label = level.candidate_label;
+    spec.require_ascending = level.require_ascending;
+    spec.enforce_injective = level.enforce_injective;
+    if (!level.restrictions.empty()) {
+      // Same closure the legacy symmetric matcher installed: the matched
+      // side of each restriction is already in the embedding, the other
+      // side is the candidate.
+      const std::vector<SymmetryRestriction> applicable =
+          level.restrictions;
+      spec.post_filter = [applicable, depth](std::span<const Unit> emb,
+                                             Unit cand) {
+        for (const SymmetryRestriction& r : applicable) {
+          if (r.larger_pos == depth) {
+            if (!(emb[r.smaller_pos] < cand)) return false;
+          } else {
+            if (!(cand < emb[r.larger_pos])) return false;
+          }
+        }
+        return true;
+      };
+    }
+    ExtensionOptions& live = engine_->mutable_options().extension;
+    live.count_only = saved.count_only || level.count_only;
+    if (level.write_strategy) live.write_strategy = *level.write_strategy;
+    if (level.pre_merge) live.pre_merge = *level.pre_merge;
+    auto stats = engine_->VertexExtension(et, spec);
+    engine_->mutable_options().extension = saved;
+    if (!stats.ok()) return stats.status();
+    result.steps.push_back(stats.value());
+    if (level.count_only) {
+      last_count = stats.value().results;
+      counted_only = true;
+    }
+  }
+
+  if (plan.kind == PlanKind::kMotifCensus) {
+    // Aggregate by unlabeled induced shape, dividing each support by the
+    // shape's connected-prefix ordering multiplicity.
+    PatternTable pt;
+    AggregationOptions agg_options = engine_->options().aggregation;
+    agg_options.use_labels = false;
+    auto agg = Aggregate(*et, &engine_->accessor(), &pt, agg_options);
+    if (!agg.ok()) return agg.status();
+    for (const PatternEntry& e : pt.entries()) {
+      uint64_t orderings = graph::CountConnectedOrderings(e.exemplar);
+      GAMMA_CHECK(orderings > 0) << "disconnected motif shape";
+      result.motifs.emplace_back(e.exemplar, e.support / orderings);
+    }
+    std::sort(result.motifs.begin(), result.motifs.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.num_edges() < b.first.num_edges();
+              });
+  } else {
+    result.embeddings = counted_only ? last_count : et->num_embeddings();
+    result.instances = plan.symmetry_broken
+                           ? result.embeddings
+                           : result.embeddings / plan.automorphisms;
+  }
+
+  result.sim_millis =
+      device->params().CyclesToMillis(device->now_cycles() - start);
+  return result;
+}
+
+Result<CompiledRunResult> CompiledEngine::RunFrequentMining(
+    const CompiledPlan& plan) {
+  GAMMA_CHECK(plan.max_edges >= 1) << "need at least one iteration";
+  CompiledRunResult result;
+  gpusim::Device* device = engine_->device();
+  const double start = device->now_cycles();
+
+  auto table = engine_->InitEdgeTable();
+  if (!table.ok()) return table.status();
+  EmbeddingTable* et = table.value().get();
+
+  for (int i = 1; i <= plan.max_edges; ++i) {
+    // PT = PT ∪ Aggregation(ET, m_f)
+    auto agg = engine_->Aggregation(*et, &result.patterns);
+    if (!agg.ok()) return agg.status();
+    // Filtering(ET, PT, sup_min): invalidate infrequent patterns and drop
+    // their instances.
+    result.patterns.InvalidateBelow(plan.min_support);
+    engine_->Filtering(et, agg.value().codes, result.patterns);
+    result.patterns.EraseInvalid();
+    result.aggregations.push_back(std::move(agg).value());
+
+    if (i < plan.max_edges) {
+      EdgeExtensionSpec spec;
+      spec.canonical_only = true;
+      auto stats = engine_->EdgeExtension(et, spec);
+      if (!stats.ok()) return stats.status();
+      result.steps.push_back(stats.value());
+    }
+  }
+
+  result.sim_millis =
+      device->params().CyclesToMillis(device->now_cycles() - start);
+  return result;
+}
+
+Result<CompiledRunResult> CompiledEngine::RunEdgeJoin(
+    const CompiledPlan& plan) {
+  CompiledRunResult result;
+  gpusim::Device* device = engine_->device();
+  const graph::Graph& g = engine_->graph();
+  const double start = device->now_cycles();
+  const graph::Pattern& query = plan.pattern;
+  const std::vector<std::pair<int, int>>& query_edges = plan.edge_order;
+
+  auto table = engine_->InitEdgeTable();
+  if (!table.ok()) return table.status();
+  EmbeddingTable* et = table.value().get();
+
+  // Filter the length-1 table down to edges matching the first query edge.
+  engine_->Filtering(et, [&](std::span<const Unit> emb) {
+    std::vector<graph::EdgeId> edges(emb.begin(), emb.end());
+    return graph::MatchesQueryPrefix(g, edges, query, query_edges);
+  });
+
+  for (std::size_t k = 1; k < query_edges.size(); ++k) {
+    EdgeExtensionSpec spec;
+    spec.canonical_only = false;  // order is dictated by the query plan
+    spec.post_filter = [&](std::span<const Unit> emb, Unit cand) {
+      std::vector<graph::EdgeId> edges(emb.begin(), emb.end());
+      edges.push_back(cand);
+      return graph::MatchesQueryPrefix(g, edges, query, query_edges);
+    };
+    auto stats = engine_->EdgeExtension(et, spec);
+    if (!stats.ok()) return stats.status();
+    result.steps.push_back(stats.value());
+  }
+
+  result.embeddings = et->num_embeddings();
+  // Distinct instances = distinct edge sets among the matched sequences.
+  std::unordered_set<uint64_t> distinct;
+  for (const auto& emb : et->Materialize()) {
+    std::vector<Unit> sorted(emb.begin(), emb.end());
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (Unit u : sorted) h = Mix64(h ^ u);
+    distinct.insert(h);
+  }
+  result.instances = distinct.size();
+  result.sim_millis =
+      device->params().CyclesToMillis(device->now_cycles() - start);
+  return result;
+}
+
+}  // namespace gpm::core

@@ -1,0 +1,53 @@
+#ifndef GAMMA_CORE_COMPILED_ENGINE_H_
+#define GAMMA_CORE_COMPILED_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gamma.h"
+#include "core/pattern_compiler.h"
+#include "graph/pattern.h"
+
+namespace gpm::core {
+
+/// What CompiledEngine::Run produces. Which fields are meaningful depends
+/// on the plan kind; the preset wrappers in src/algos project this into
+/// their legacy result structs.
+struct CompiledRunResult {
+  uint64_t embeddings = 0;  ///< matched rows (vertex plans, edge join)
+  uint64_t instances = 0;   ///< deduplicated instances
+  double sim_millis = 0;
+  std::vector<ExtensionStats> steps;
+  /// kMotifCensus: (exemplar shape, instance count), sorted by edge count.
+  std::vector<std::pair<graph::Pattern, uint64_t>> motifs;
+  /// kFrequentMining: frequent patterns and the per-iteration aggregation
+  /// results (Algorithm 2 outputs).
+  PatternTable patterns;
+  std::vector<AggregationResult> aggregations;
+};
+
+/// The one generic execution loop all four mining workloads run on: a
+/// CompiledPlan interpreter over GammaEngine primitives. Each level builds
+/// its VertexExtensionSpec / EdgeExtensionSpec from plan data; per-level
+/// strategy overrides are applied around the primitive call and restored
+/// after, so inherit-mode plans are bit-identical to the legacy
+/// hand-specialized algorithms.
+class CompiledEngine {
+ public:
+  explicit CompiledEngine(GammaEngine* engine) : engine_(engine) {}
+
+  Result<CompiledRunResult> Run(const CompiledPlan& plan);
+
+ private:
+  Result<CompiledRunResult> RunVertexPlan(const CompiledPlan& plan);
+  Result<CompiledRunResult> RunFrequentMining(const CompiledPlan& plan);
+  Result<CompiledRunResult> RunEdgeJoin(const CompiledPlan& plan);
+
+  GammaEngine* engine_;
+};
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_COMPILED_ENGINE_H_

@@ -1,5 +1,6 @@
 #include "core/gamma.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/logging.h"
@@ -90,6 +91,57 @@ Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitEdgeTable() {
   }
   device_->ChargeHostWork(static_cast<double>(units.size()));
   Status st = table->InitFirstColumn(std::move(units));
+  if (!st.ok()) return st;
+  return table;
+}
+
+Result<std::unique_ptr<EmbeddingTable>> GammaEngine::InitVertexPairTable(
+    graph::Label first_label, graph::Label second_label, bool ascending) {
+  GAMMA_CHECK(prepared_) << "engine not prepared";
+  gpusim::PhaseScope phase(device_, &device_->profile(), kPhaseInitTable);
+  if (graph_->edge_list().empty()) {
+    return Status::FailedPrecondition(
+        "vertex pair table requires the graph's edge index "
+        "(EnsureEdgeIndex)");
+  }
+  auto table = std::make_unique<EmbeddingTable>(
+      device_, TableKind::kVertex, options_.device_resident_tables);
+  const std::size_t m = graph_->edge_list().size();
+  // Scan kernel over the edge list: mark matching pairs, scan, scatter.
+  device_->LaunchKernel(
+      std::max<std::size_t>(1, m / 4096),
+      [&](gpusim::WarpCtx& w, std::size_t) {
+        w.ZeroCopyRead(4096 * sizeof(graph::Edge));
+        w.ChargeSimtWork(4096);
+        w.ChargeWarpScan();
+      },
+      "init-vertex-pair-scan");
+  auto label_ok = [&](graph::VertexId v, graph::Label want) {
+    return want == graph::Pattern::kAnyLabel || graph_->label(v) == want;
+  };
+  std::vector<Unit> first;
+  std::vector<Unit> second;
+  for (const graph::Edge& e : graph_->edge_list()) {
+    const graph::VertexId lo = std::min(e.u, e.v);
+    const graph::VertexId hi = std::max(e.u, e.v);
+    if (label_ok(lo, first_label) && label_ok(hi, second_label)) {
+      first.push_back(lo);
+      second.push_back(hi);
+    }
+    if (ascending) continue;
+    if (label_ok(hi, first_label) && label_ok(lo, second_label)) {
+      first.push_back(hi);
+      second.push_back(lo);
+    }
+  }
+  std::vector<RowIndex> parents(second.size());
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    parents[i] = static_cast<RowIndex>(i);
+  }
+  device_->CopyDeviceToHost((first.size() + second.size()) * sizeof(Unit));
+  Status st = table->InitFirstColumn(std::move(first));
+  if (!st.ok()) return st;
+  st = table->AppendColumn(std::move(second), std::move(parents));
   if (!st.ok()) return st;
   return table;
 }

@@ -64,6 +64,15 @@ class GammaEngine {
   /// Algorithm 2 line 1). Requires the graph's edge index.
   Result<std::unique_ptr<EmbeddingTable>> InitEdgeTable();
 
+  /// v-ET seeded with the first two columns from one edge-list scan: every
+  /// adjacent (u, v) pair whose endpoints carry `first_label` /
+  /// `second_label` (kAnyLabel = all), both orientations unless
+  /// `ascending` keeps only u < v (a folded (0,1) symmetry restriction).
+  /// The edge-parallel start mode of compiled plans — it replaces the
+  /// depth-1 vertex extension. Requires the graph's edge index.
+  Result<std::unique_ptr<EmbeddingTable>> InitVertexPairTable(
+      graph::Label first_label, graph::Label second_label, bool ascending);
+
   // -- Primitives (Fig. 3 interfaces) ---------------------------------------
 
   Result<ExtensionStats> VertexExtension(EmbeddingTable* et,

@@ -1,0 +1,179 @@
+#ifndef GAMMA_CORE_PATTERN_COMPILER_H_
+#define GAMMA_CORE_PATTERN_COMPILER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/extension.h"
+#include "core/plan.h"
+#include "core/symmetry.h"
+#include "graph/csr.h"
+#include "graph/pattern.h"
+
+namespace gpm::core {
+
+/// What a compiled plan computes. All four of the repo's mining workloads
+/// lower to one of these shapes over the same engine primitives.
+enum class PlanKind : uint8_t {
+  kSubgraphMatch,   ///< v-ET, one WOJ vertex extension per level
+  kMotifCensus,     ///< v-ET union extensions + shape aggregation
+  kFrequentMining,  ///< e-ET aggregate/filter/extend loop (Algorithm 2)
+  kEdgeJoin,        ///< e-ET query-edge-at-a-time binary join
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// How the first embedding-table column is produced.
+enum class StartMode : uint8_t {
+  kVertexParallel,  ///< label-selective vertex scan (one column)
+  kEdgeParallel,    ///< edge-list scan seeding the first two columns
+};
+
+const char* StartModeName(StartMode mode);
+
+/// One vertex-extension step of a compiled plan. Everything the engine
+/// needs to build the VertexExtensionSpec, plus optional per-level
+/// strategy overrides (unset = inherit the engine's ExtensionOptions, the
+/// bit-compatible preset mode).
+struct CompiledLevel {
+  /// Matched positions whose adjacency lists are intersected; empty means
+  /// union-neighborhood extension (motif census).
+  std::vector<int> intersect_positions;
+  graph::Label candidate_label = graph::Pattern::kAnyLabel;
+  /// Folded full-chain symmetry restriction: candidate id must exceed
+  /// every matched vertex.
+  bool require_ascending = false;
+  bool enforce_injective = true;
+  /// Symmetry-breaking restrictions applied as a post-filter at this
+  /// level (both directions: the candidate may be the smaller or the
+  /// larger side). Empty when folded into require_ascending or when the
+  /// plan does not break symmetry.
+  std::vector<SymmetryRestriction> restrictions;
+  /// Count-only final level: tally results without materializing the
+  /// column.
+  bool count_only = false;
+  /// Input-aware strategy choices; nullopt inherits the engine options.
+  std::optional<WriteStrategy> write_strategy;
+  std::optional<bool> pre_merge;
+  /// Estimated rows after this level (planner cardinality model).
+  double est_rows = 0;
+};
+
+/// Compact per-run plan descriptor embedded in gamma.bench.v1 documents.
+struct PlanSummary {
+  bool enabled = false;
+  std::string kind;
+  std::vector<int> order;
+  int levels = 0;
+  bool symmetry_broken = false;
+};
+
+/// A complete, data-only execution plan for one mining workload: matching
+/// order, per-level intersection sets and filters, automatically derived
+/// symmetry restrictions, and strategy choices. CompiledEngine::Run
+/// interprets it over GammaEngine primitives; ToJson() serializes it as a
+/// `gamma.plan.v1` document.
+struct CompiledPlan {
+  PlanKind kind = PlanKind::kSubgraphMatch;
+  /// The query (subgraph match / edge join). Unused for the motif census
+  /// (which aggregates every shape) and FPM.
+  graph::Pattern pattern;
+  /// Vertex matching order (vertex plans); order[d] is the query vertex
+  /// matched at depth d.
+  std::vector<int> order;
+  StartMode start = StartMode::kVertexParallel;
+  graph::Label start_label = graph::Pattern::kAnyLabel;
+  /// Edge-parallel start only: label filter for the second column and
+  /// whether the seeded pairs are ascending (folded (0,1) restriction).
+  graph::Label second_label = graph::Pattern::kAnyLabel;
+  bool start_ascending = false;
+  /// One entry per extension step. Vertex plans: depth = first_depth + i
+  /// where first_depth is 1 (vertex-parallel) or 2 (edge-parallel).
+  std::vector<CompiledLevel> levels;
+  /// Connected query-edge order (kEdgeJoin).
+  std::vector<std::pair<int, int>> edge_order;
+  bool symmetry_broken = false;
+  uint64_t automorphisms = 1;
+  double estimated_cost = 0;
+  /// kFrequentMining parameters.
+  int max_edges = 0;
+  uint64_t min_support = 0;
+
+  /// Depth of the first extension level (vertex plans).
+  int first_depth() const {
+    return start == StartMode::kEdgeParallel ? 2 : 1;
+  }
+
+  PlanSummary Summary() const;
+  std::string DebugString() const;
+  /// Serializes the full plan as a `gamma.plan.v1` JSON document.
+  std::string ToJson() const;
+};
+
+/// Compiler configuration. The defaults reproduce the legacy
+/// hand-specialized algorithms bit-for-bit (structural order, engine-
+/// inherited strategies); `input_aware` turns on statistics-driven
+/// selection for user-supplied patterns.
+struct CompileOptions {
+  PlanStrategy plan_strategy = PlanStrategy::kStructural;
+  /// Derive symmetry-breaking restrictions from the pattern's
+  /// automorphisms (one embedding-table row per instance).
+  bool break_symmetry = false;
+  /// When a level's applicable restrictions form the full ascending chain
+  /// {M_j < M_d for all j < d}, fold them into the extension's
+  /// require_ascending flag instead of a per-candidate post-filter. The
+  /// k-clique preset requires this (it reproduces the hand-written spec
+  /// exactly); the legacy symmetric-SM preset leaves it off because the
+  /// hand path always used a post-filter.
+  bool fold_ascending = false;
+  /// Count-only final extension (counting workloads never read the last
+  /// column).
+  bool count_only_last = false;
+  /// Choose start mode, write strategy, and grouped intersection per
+  /// level from pattern + input-graph statistics instead of inheriting
+  /// the engine's options (see docs: strategy selection rules).
+  bool input_aware = false;
+};
+
+/// Pattern compiler: arbitrary (optionally labeled) pattern in, complete
+/// CompiledPlan out. Pure host-side analysis — compiling charges no
+/// simulated cycles.
+class PatternCompiler {
+ public:
+  explicit PatternCompiler(const graph::Graph* g) : g_(g) {}
+
+  /// WOJ subgraph matching over `query` (<= Pattern::kMaxVertices
+  /// vertices, connected, optional labels).
+  CompiledPlan CompileMatch(const graph::Pattern& query,
+                            const CompileOptions& options) const;
+
+  /// CompileMatch with a caller-supplied matching order (bypasses
+  /// BuildWojPlan; the explicit-plan entry point of MatchWojWithPlan).
+  CompiledPlan CompileMatchWithPlan(const graph::Pattern& query,
+                                    const WojPlan& plan,
+                                    const CompileOptions& options) const;
+
+  /// k-clique counting: CompileMatch over Clique(k) with symmetry folding
+  /// (reproduces the hand-written ascending-intersection spec).
+  CompiledPlan CompileKClique(int k, bool count_only_last) const;
+
+  /// k-vertex motif census: union extensions + unlabeled-shape
+  /// aggregation.
+  CompiledPlan CompileMotifCensus(int k) const;
+
+  /// Frequent pattern mining (Algorithm 2) parameters.
+  CompiledPlan CompileFpm(int max_edges, uint64_t min_support) const;
+
+  /// Binary-join matching: one query edge per extension.
+  CompiledPlan CompileEdgeJoin(const graph::Pattern& query) const;
+
+ private:
+  const graph::Graph* g_;
+};
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_PATTERN_COMPILER_H_

@@ -13,17 +13,77 @@ using graph::Label;
 using graph::Pattern;
 using graph::VertexId;
 
-// Fraction of data vertices carrying `label` (1.0 for wildcards).
-double LabelSelectivity(const graph::Graph& g, Label label) {
-  if (label == Pattern::kAnyLabel || !g.labeled()) return 1.0;
-  std::size_t count = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (g.label(v) == label) ++count;
+// Per-label vertex counts of the data graph, computed once per plan build
+// (the greedy planner evaluates O(k^3) candidate prefixes; scanning the
+// label array for each would be O(k^3 * V)).
+class LabelStats {
+ public:
+  explicit LabelStats(const graph::Graph& g) : g_(g) {
+    if (!g.labeled()) return;
+    counts_.assign(g.num_labels(), 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      Label l = g.label(v);
+      if (l >= counts_.size()) counts_.resize(l + 1, 0);
+      ++counts_[l];
+    }
   }
-  return g.num_vertices() == 0
-             ? 0.0
-             : static_cast<double>(count) /
-                   static_cast<double>(g.num_vertices());
+
+  // Fraction of data vertices carrying `label` (1.0 for wildcards). A
+  // concrete query label uses the per-label frequency, never the global
+  // vertex count: on an unlabeled graph every vertex carries label 0, so
+  // any other label matches nothing and must estimate to zero rather than
+  // the full |V| the old blanket `!labeled()` early-return produced.
+  double Selectivity(Label label) const {
+    if (label == Pattern::kAnyLabel) return 1.0;
+    if (g_.num_vertices() == 0) return 0.0;
+    if (!g_.labeled()) return label == 0 ? 1.0 : 0.0;
+    const std::size_t count =
+        label < counts_.size() ? counts_[label] : 0;
+    return static_cast<double>(count) /
+           static_cast<double>(g_.num_vertices());
+  }
+
+ private:
+  const graph::Graph& g_;
+  std::vector<std::size_t> counts_;
+};
+
+double EstimateWithStats(const graph::Graph& g, const LabelStats& stats,
+                         const graph::Pattern& query,
+                         const std::vector<int>& order, int depth) {
+  GAMMA_CHECK(depth >= 0 && depth < static_cast<int>(order.size()))
+      << "depth out of range";
+  const double n = static_cast<double>(g.num_vertices());
+  const double avg_deg = g.average_degree();
+
+  // Start: candidates for the first vertex = label-selective vertex scan.
+  double card = n * stats.Selectivity(query.label(order[0]));
+  for (int d = 1; d <= depth; ++d) {
+    int backs = 0;
+    for (int j = 0; j < d; ++j) {
+      if (query.HasEdge(order[d], order[j])) ++backs;
+    }
+    GAMMA_CHECK(backs >= 1) << "order prefix not connected";
+    // One backward edge multiplies by the average fan-out; every further
+    // backward edge behaves like an adjacency test with probability
+    // avg_deg / n of succeeding (independence assumption).
+    double fanout = avg_deg * stats.Selectivity(query.label(order[d]));
+    for (int e = 1; e < backs; ++e) {
+      fanout *= std::min(1.0, avg_deg / std::max(1.0, n));
+    }
+    card *= std::max(fanout, 1e-12);
+  }
+  return card;
+}
+
+// Deterministic cost comparison for the greedy planner: costs within a
+// relative epsilon are ties (floating-point arithmetic may round the same
+// estimate differently across compilers/architectures — FMA contraction,
+// libm — and a strict `<` would then pick different vertices on different
+// platforms). Ties fall through to the caller's structural tie-break.
+bool CostStrictlyLess(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return a < b - 1e-9 * scale;
 }
 
 }  // namespace
@@ -42,50 +102,32 @@ std::string WojPlan::DebugString() const {
 double EstimateCardinality(const graph::Graph& g,
                            const graph::Pattern& query,
                            const std::vector<int>& order, int depth) {
-  GAMMA_CHECK(depth >= 0 &&
-              depth < static_cast<int>(order.size()))
-      << "depth out of range";
-  const double n = static_cast<double>(g.num_vertices());
-  const double avg_deg = g.average_degree();
-
-  // Start: candidates for the first vertex = label-selective vertex scan.
-  double card = n * LabelSelectivity(g, query.label(order[0]));
-  for (int d = 1; d <= depth; ++d) {
-    int backs = 0;
-    for (int j = 0; j < d; ++j) {
-      if (query.HasEdge(order[d], order[j])) ++backs;
-    }
-    GAMMA_CHECK(backs >= 1) << "order prefix not connected";
-    // One backward edge multiplies by the average fan-out; every further
-    // backward edge behaves like an adjacency test with probability
-    // avg_deg / n of succeeding (independence assumption).
-    double fanout = avg_deg * LabelSelectivity(g, query.label(order[d]));
-    for (int e = 1; e < backs; ++e) {
-      fanout *= std::min(1.0, avg_deg / std::max(1.0, n));
-    }
-    card *= std::max(fanout, 1e-12);
-  }
-  return card;
+  return EstimateWithStats(g, LabelStats(g), query, order, depth);
 }
 
 WojPlan BuildWojPlan(const graph::Graph& g, const graph::Pattern& query,
                      PlanStrategy strategy) {
   WojPlan plan;
   const int k = query.num_vertices();
+  const LabelStats stats(g);
 
   if (strategy == PlanStrategy::kStructural) {
     plan.order = query.DefaultMatchingOrder();
   } else {
     // Greedy: start at the most selective (label frequency x degree rank)
     // vertex; at each step append the connected vertex minimizing the
-    // estimated cardinality of the extended prefix.
+    // estimated cardinality of the extended prefix. Tie-breaking is fully
+    // deterministic so compiled plans reproduce across platforms: equal
+    // scores prefer the higher-degree vertex, then the smaller index.
     std::vector<bool> used(k, false);
     int best0 = 0;
     double best0_score = 1e300;
     for (int i = 0; i < k; ++i) {
-      double score = LabelSelectivity(g, query.label(i)) /
+      double score = stats.Selectivity(query.label(i)) /
                      std::max(1, query.degree(i));
-      if (score < best0_score) {
+      if (CostStrictlyLess(score, best0_score) ||
+          (!CostStrictlyLess(best0_score, score) &&
+           query.degree(i) > query.degree(best0))) {
         best0_score = score;
         best0 = i;
       }
@@ -95,20 +137,28 @@ WojPlan BuildWojPlan(const graph::Graph& g, const graph::Pattern& query,
     while (static_cast<int>(plan.order.size()) < k) {
       int best = -1;
       double best_cost = 1e300;
+      int best_backs = -1;
       for (int cand = 0; cand < k; ++cand) {
         if (used[cand]) continue;
-        bool connected = false;
+        int backs = 0;
         for (int j : plan.order) {
-          if (query.HasEdge(cand, j)) connected = true;
+          if (query.HasEdge(cand, j)) ++backs;
         }
-        if (!connected) continue;
+        if (backs == 0) continue;
         std::vector<int> tentative = plan.order;
         tentative.push_back(cand);
-        double cost = EstimateCardinality(
-            g, query, tentative, static_cast<int>(tentative.size()) - 1);
-        if (cost < best_cost) {
+        double cost = EstimateWithStats(
+            g, stats, query, tentative,
+            static_cast<int>(tentative.size()) - 1);
+        // Equal-cost ties prefer the candidate with more backward edges
+        // (tighter intersections downstream), then the smaller index.
+        const bool better =
+            best < 0 || CostStrictlyLess(cost, best_cost) ||
+            (!CostStrictlyLess(best_cost, cost) && backs > best_backs);
+        if (better) {
           best_cost = cost;
           best = cand;
+          best_backs = backs;
         }
       }
       GAMMA_CHECK(best >= 0) << "query graph not connected";
@@ -127,7 +177,8 @@ WojPlan BuildWojPlan(const graph::Graph& g, const graph::Pattern& query,
     }
   }
   for (int d = 0; d < k; ++d) {
-    plan.estimated_cost += EstimateCardinality(g, query, plan.order, d);
+    plan.estimated_cost +=
+        EstimateWithStats(g, stats, query, plan.order, d);
   }
   return plan;
 }

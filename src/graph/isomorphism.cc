@@ -1,6 +1,7 @@
 #include "graph/isomorphism.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/logging.h"
 
@@ -169,6 +170,124 @@ Pattern PatternOfEdges(const Graph& g, const std::vector<EdgeId>& edges,
     }
   }
   return p;
+}
+
+uint64_t CountConnectedOrderings(const Pattern& p) {
+  const int n = p.num_vertices();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  uint64_t count = 0;
+  do {
+    if (p.ConnectedPrefix(perm)) ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return count;
+}
+
+std::vector<std::pair<int, int>> ConnectedEdgeOrder(const Pattern& p) {
+  std::vector<std::pair<int, int>> remaining = p.EdgeList();
+  std::vector<std::pair<int, int>> order;
+  std::vector<bool> seen(p.num_vertices(), false);
+  while (!remaining.empty()) {
+    std::size_t pick = remaining.size();
+    if (order.empty()) {
+      pick = 0;
+    } else {
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (seen[remaining[i].first] || seen[remaining[i].second]) {
+          pick = i;
+          break;
+        }
+      }
+      GAMMA_CHECK(pick < remaining.size()) << "query graph not connected";
+    }
+    seen[remaining[pick].first] = true;
+    seen[remaining[pick].second] = true;
+    order.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + pick);
+  }
+  return order;
+}
+
+namespace {
+
+bool PrefixLabelOk(const Graph& g, const Pattern& q, int qv, VertexId dv) {
+  return q.label(qv) == Pattern::kAnyLabel || q.label(qv) == g.label(dv);
+}
+
+// Backtracking assignment of query vertices to data vertices consistent
+// with the edge sequence; both orientations of each data edge are tried.
+bool TryAssign(const Graph& g, const std::vector<EdgeId>& edges,
+               const Pattern& query,
+               const std::vector<std::pair<int, int>>& query_edges,
+               std::size_t idx, std::vector<int>& qv_to_dv,
+               std::vector<int>& dv_owner_qv,
+               std::vector<VertexId>& bound_dvs) {
+  if (idx == edges.size()) return true;
+  auto [qa, qb] = query_edges[idx];
+  const Edge& e = g.edge_list()[edges[idx]];
+  const VertexId ends[2] = {e.u, e.v};
+  for (int o = 0; o < 2; ++o) {
+    VertexId da = ends[o];
+    VertexId db = ends[1 - o];
+    if (!PrefixLabelOk(g, query, qa, da) ||
+        !PrefixLabelOk(g, query, qb, db)) {
+      continue;
+    }
+    // Binding checks: each query vertex maps to one data vertex and
+    // vice versa (injective).
+    auto find_owner = [&](VertexId dv) {
+      for (std::size_t i = 0; i < bound_dvs.size(); ++i) {
+        if (bound_dvs[i] == dv) return dv_owner_qv[i];
+      }
+      return -1;
+    };
+    int owner_a = find_owner(da);
+    int owner_b = find_owner(db);
+    if (qv_to_dv[qa] >= 0 && qv_to_dv[qa] != static_cast<int>(da)) continue;
+    if (qv_to_dv[qb] >= 0 && qv_to_dv[qb] != static_cast<int>(db)) continue;
+    if (owner_a >= 0 && owner_a != qa) continue;
+    if (owner_b >= 0 && owner_b != qb) continue;
+    // Bind (remember what we added to undo on backtrack).
+    int added = 0;
+    int prev_a = qv_to_dv[qa];
+    int prev_b = qv_to_dv[qb];
+    if (qv_to_dv[qa] < 0) {
+      qv_to_dv[qa] = static_cast<int>(da);
+      dv_owner_qv.push_back(qa);
+      bound_dvs.push_back(da);
+      ++added;
+    }
+    if (qv_to_dv[qb] < 0) {
+      qv_to_dv[qb] = static_cast<int>(db);
+      dv_owner_qv.push_back(qb);
+      bound_dvs.push_back(db);
+      ++added;
+    }
+    if (TryAssign(g, edges, query, query_edges, idx + 1, qv_to_dv,
+                  dv_owner_qv, bound_dvs)) {
+      return true;
+    }
+    for (int i = 0; i < added; ++i) {
+      dv_owner_qv.pop_back();
+      bound_dvs.pop_back();
+    }
+    qv_to_dv[qa] = prev_a;
+    qv_to_dv[qb] = prev_b;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool MatchesQueryPrefix(const Graph& g, const std::vector<EdgeId>& edges,
+                        const Pattern& query,
+                        const std::vector<std::pair<int, int>>& query_edges) {
+  GAMMA_CHECK(edges.size() <= query_edges.size()) << "prefix too long";
+  std::vector<int> qv_to_dv(query.num_vertices(), -1);
+  std::vector<int> dv_owner;
+  std::vector<VertexId> bound;
+  return TryAssign(g, edges, query, query_edges, 0, qv_to_dv, dv_owner,
+                   bound);
 }
 
 }  // namespace gpm::graph

@@ -41,6 +41,24 @@ Pattern PatternOfVertices(const Graph& g,
 Pattern PatternOfEdges(const Graph& g, const std::vector<EdgeId>& edges,
                        bool use_labels);
 
+/// Number of vertex orderings of `p` whose every prefix is connected — the
+/// per-instance multiplicity of union-neighborhood vertex extension (motif
+/// census post-processing divides by it).
+uint64_t CountConnectedOrderings(const Pattern& p);
+
+/// A connected ordering of `p`'s edges: every edge after the first shares a
+/// vertex with an earlier one (the prefix constraint edge-at-a-time matching
+/// plans need).
+std::vector<std::pair<int, int>> ConnectedEdgeOrder(const Pattern& p);
+
+/// True when the edge-id sequence `edges` (in order) can be mapped to the
+/// first `edges.size()` edges of `query_edges` (pairs over query vertices,
+/// with `query` supplying labels) by a consistent injective vertex
+/// assignment. The per-prefix constraint of binary-join matching.
+bool MatchesQueryPrefix(const Graph& g, const std::vector<EdgeId>& edges,
+                        const Pattern& query,
+                        const std::vector<std::pair<int, int>>& query_edges);
+
 }  // namespace gpm::graph
 
 #endif  // GAMMA_GRAPH_ISOMORPHISM_H_

@@ -158,7 +158,7 @@ TEST(MatchesQueryPrefixTest, TriangleSequence) {
     std::vector<graph::EdgeId> edges{
         g.FindEdgeId(e[0], e[1]), g.FindEdgeId(e[0], e[2]),
         g.FindEdgeId(e[1], e[2])};
-    EXPECT_TRUE(MatchesQueryPrefix(g, edges, tri, qedges));
+    EXPECT_TRUE(algos::MatchesQueryPrefix(g, edges, tri, qedges));
   }
 }
 
@@ -213,11 +213,11 @@ TEST(FpmTest, HigherThresholdNeverAddsPatterns) {
 }
 
 TEST(MotifTest, ConnectedOrderings) {
-  EXPECT_EQ(CountConnectedOrderings(graph::Pattern::Triangle()), 6u);
-  EXPECT_EQ(CountConnectedOrderings(graph::Pattern::Path(3)), 4u);
-  EXPECT_EQ(CountConnectedOrderings(graph::Pattern::Clique(4)), 24u);
+  EXPECT_EQ(algos::CountConnectedOrderings(graph::Pattern::Triangle()), 6u);
+  EXPECT_EQ(algos::CountConnectedOrderings(graph::Pattern::Path(3)), 4u);
+  EXPECT_EQ(algos::CountConnectedOrderings(graph::Pattern::Clique(4)), 24u);
   // Star(3): center+3 leaves; orderings counted by brute force below.
-  uint64_t star = CountConnectedOrderings(graph::Pattern::Star(3));
+  uint64_t star = algos::CountConnectedOrderings(graph::Pattern::Star(3));
   EXPECT_GT(star, 0u);
   EXPECT_LT(star, 24u);
 }

@@ -95,6 +95,95 @@ TEST(PlanTest, EstimatedCostPositive) {
   EXPECT_GT(plan.estimated_cost, 0.0);
 }
 
+TEST(PlanTest, GreedyTieBreakingIsDeterministic) {
+  graph::Graph g = RandomLabeled(15);
+  // Fully symmetric patterns make every greedy step a tie; the
+  // deterministic tie-break (more backward edges, then smaller index)
+  // must resolve them to the identity order, every time.
+  for (const graph::Pattern& q :
+       {graph::Pattern::Cycle(4), graph::Pattern::Clique(4),
+        graph::Pattern::Clique(5)}) {
+    core::WojPlan first = core::BuildWojPlan(
+        g, q, core::PlanStrategy::kGreedyCardinality);
+    std::vector<int> identity(q.num_vertices());
+    for (int i = 0; i < q.num_vertices(); ++i) identity[i] = i;
+    EXPECT_EQ(first.order, identity) << q.DebugString();
+    for (int rebuild = 0; rebuild < 4; ++rebuild) {
+      core::WojPlan again = core::BuildWojPlan(
+          g, q, core::PlanStrategy::kGreedyCardinality);
+      EXPECT_EQ(again.order, first.order) << q.DebugString();
+      EXPECT_EQ(again.estimated_cost, first.estimated_cost);
+    }
+  }
+  // Asymmetric costs must also reproduce across rebuilds.
+  core::WojPlan labeled = core::BuildWojPlan(
+      g, graph::Pattern::SmQuery(3, 3),
+      core::PlanStrategy::kGreedyCardinality);
+  for (int rebuild = 0; rebuild < 4; ++rebuild) {
+    EXPECT_EQ(core::BuildWojPlan(g, graph::Pattern::SmQuery(3, 3),
+                                 core::PlanStrategy::kGreedyCardinality)
+                  .order,
+              labeled.order);
+  }
+}
+
+TEST(PlanTest, LabeledCardinalityUsesPerLabelFrequency) {
+  graph::Graph g = RandomLabeled(16);  // Zipf labels over {0, 1, 2}
+  std::vector<uint64_t> freq(g.num_labels(), 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++freq[g.label(v)];
+  }
+  ASSERT_GT(freq[0], freq[2]);  // Zipf skew: the test is vacuous if equal
+  graph::Pattern q(1);
+  std::vector<int> order{0};
+  // Depth-0 estimate is the number of start candidates: all vertices for
+  // a wildcard, the per-label count for a concrete label.
+  q.SetLabel(0, graph::Pattern::kAnyLabel);
+  EXPECT_DOUBLE_EQ(core::EstimateCardinality(g, q, order, 0),
+                   static_cast<double>(g.num_vertices()));
+  for (graph::Label l = 0; l < g.num_labels(); ++l) {
+    q.SetLabel(0, l);
+    EXPECT_DOUBLE_EQ(core::EstimateCardinality(g, q, order, 0),
+                     static_cast<double>(freq[l]))
+        << "label " << l;
+  }
+  // A label absent from the graph matches nothing.
+  q.SetLabel(0, 7);
+  EXPECT_DOUBLE_EQ(core::EstimateCardinality(g, q, order, 0), 0.0);
+}
+
+TEST(PlanTest, UnlabeledGraphConcreteLabelEstimatesZero) {
+  Rng rng(17);
+  graph::Graph g = graph::PowerLaw(100, 400, 0.8, &rng);  // unlabeled
+  graph::Pattern q(1);
+  std::vector<int> order{0};
+  // Every vertex of an unlabeled graph carries label 0; any other
+  // concrete query label must estimate to zero, not |V|.
+  q.SetLabel(0, 0);
+  EXPECT_DOUBLE_EQ(core::EstimateCardinality(g, q, order, 0),
+                   static_cast<double>(g.num_vertices()));
+  q.SetLabel(0, 1);
+  EXPECT_DOUBLE_EQ(core::EstimateCardinality(g, q, order, 0), 0.0);
+}
+
+TEST(PlanTest, GreedyStartsAtRareLabel) {
+  graph::Graph g = RandomLabeled(18);
+  std::vector<uint64_t> freq(g.num_labels(), 0);
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    ++freq[g.label(v)];
+  }
+  ASSERT_GT(freq[0], freq[2]);
+  // Symmetric structure, one rare-labeled vertex: the greedy planner must
+  // start there.
+  graph::Pattern q = graph::Pattern::Triangle();
+  q.SetLabel(0, 0);
+  q.SetLabel(1, 0);
+  q.SetLabel(2, 2);
+  core::WojPlan plan = core::BuildWojPlan(
+      g, q, core::PlanStrategy::kGreedyCardinality);
+  EXPECT_EQ(plan.order[0], 2) << plan.DebugString();
+}
+
 // ---- Reordering ------------------------------------------------------------
 
 TEST(ReorderTest, PermutationIsBijective) {

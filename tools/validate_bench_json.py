@@ -7,6 +7,7 @@ dispatching on the document's `schema` field:
   gamma.metrics.v1     gamma_cli --metrics-out counter time-series
   gamma.check.v1       gamma_cli --check-out sanitizer report
   gamma.critpath.v1    gamma_cli --critpath-out bottleneck analysis
+  gamma.plan.v1        gamma_cli --plan-out compiled pattern plan
 
 Exits non-zero (with a message per problem) when the document deviates
 from its schema, so CI fails loudly instead of archiving a broken
@@ -104,6 +105,43 @@ WHATIF_KEYS = {
     "projected_cycles": (int, float),
     "speedup": (int, float),
 }
+
+
+# Pattern-compiler vocabulary (keep in sync with
+# src/core/pattern_compiler.cc PlanKindName/StartModeName and
+# src/core/extension.cc WriteStrategyName).
+PLAN_KINDS = ("subgraph-match", "motif-census", "frequent-mining",
+              "edge-join")
+PLAN_START_MODES = ("vertex-parallel", "edge-parallel")
+PLAN_WRITE_STRATEGIES = ("inherit", "naive-two-pass", "prealloc",
+                         "dynamic-alloc")
+
+# Compact per-run plan descriptor embedded in gamma.bench.v1 documents
+# (see core::PlanSummary). All values are exact, so compare_bench_json.py
+# diffs them with zero tolerance.
+PLAN_SUMMARY_KEYS = {
+    "kind": str,
+    "order": list,
+    "levels": (int, float),
+    "symmetry_broken": bool,
+}
+
+
+def check_plan_summary(errors, plan, ctx):
+    """The 'plan' object a bench run embeds when it ran a compiled plan."""
+    if not isinstance(plan, dict):
+        fail(errors, f"{ctx}: not an object")
+        return
+    check_typed_keys(errors, plan, PLAN_SUMMARY_KEYS, ctx)
+    if plan.get("kind") not in PLAN_KINDS:
+        fail(errors, f"{ctx}: unknown kind {plan.get('kind')!r}")
+    if isinstance(plan.get("order"), list):
+        for v in plan["order"]:
+            if not isinstance(v, int):
+                fail(errors, f"{ctx}.order: non-integer entry {v!r}")
+                break
+    if isinstance(plan.get("levels"), (int, float)) and plan["levels"] < 0:
+        fail(errors, f"{ctx}: negative levels")
 
 
 def fold_sum(attribution):
@@ -236,6 +274,9 @@ def validate(doc):
                 check_typed_keys(errors, adaptivity,
                                  ADAPTIVITY_SUMMARY_KEYS,
                                  f"{ctx}.adaptivity")
+        plan = run.get("plan")
+        if plan is not None:
+            check_plan_summary(errors, plan, f"{ctx}.plan")
         counters = run.get("counters")
         if isinstance(counters, dict):
             for key in COUNTER_KEYS:
@@ -564,12 +605,169 @@ def validate_critpath(doc):
     return errors
 
 
+def is_label(v):
+    """Plan labels are '*' (wildcard) or a non-negative integer."""
+    return v == "*" or (isinstance(v, int) and v >= 0)
+
+
+def check_plan_pattern(errors, pattern, ctx):
+    """Returns the vertex count when the pattern object is well-formed."""
+    if not isinstance(pattern, dict):
+        fail(errors, f"{ctx}: missing or not an object")
+        return None
+    check_typed_keys(errors, pattern,
+                     {"num_vertices": int, "edges": list, "labels": list},
+                     ctx)
+    n = pattern.get("num_vertices")
+    if not isinstance(n, int) or n < 1:
+        fail(errors, f"{ctx}: num_vertices must be a positive integer")
+        return None
+    for i, e in enumerate(pattern.get("edges") or []):
+        ectx = f"{ctx}.edges[{i}]"
+        if (not isinstance(e, list) or len(e) != 2
+                or not all(isinstance(v, int) for v in e)):
+            fail(errors, f"{ectx}: want an [a, b] integer pair")
+            continue
+        if e[0] == e[1] or not all(0 <= v < n for v in e):
+            fail(errors, f"{ectx}: endpoints out of range or equal")
+    labels = pattern.get("labels")
+    if isinstance(labels, list):
+        if len(labels) != n:
+            fail(errors, f"{ctx}.labels: {len(labels)} entries for "
+                 f"{n} vertices")
+        for i, l in enumerate(labels):
+            if not is_label(l):
+                fail(errors, f"{ctx}.labels[{i}]: want '*' or a "
+                     f"non-negative integer, got {l!r}")
+    return n
+
+
+def check_plan_levels(errors, doc, n):
+    """Per-level checks of a vertex plan (order, start, levels)."""
+    order = doc.get("order")
+    if not isinstance(order, list) or (
+            n is not None and sorted(order) != list(range(n))):
+        fail(errors, f"order: not a permutation of 0..{(n or 1) - 1}")
+    start = doc.get("start")
+    edge_parallel = False
+    if not isinstance(start, dict):
+        fail(errors, "'start' is missing or not an object")
+    else:
+        check_typed_keys(errors, start, {"mode": str, "ascending": bool},
+                         "start")
+        if start.get("mode") not in PLAN_START_MODES:
+            fail(errors, f"start: unknown mode {start.get('mode')!r}")
+        edge_parallel = start.get("mode") == "edge-parallel"
+        if not is_label(start.get("label")):
+            fail(errors, "start: label must be '*' or a non-negative "
+                 "integer")
+        if edge_parallel and not is_label(start.get("second_label")):
+            fail(errors, "start: edge-parallel needs a second_label")
+    levels = doc.get("levels")
+    if not isinstance(levels, list):
+        fail(errors, "'levels' is missing or not an array")
+        return
+    first_depth = 2 if edge_parallel else 1
+    for i, level in enumerate(levels):
+        ctx = f"levels[{i}]"
+        if not isinstance(level, dict):
+            fail(errors, f"{ctx}: not an object")
+            continue
+        check_typed_keys(
+            errors, level,
+            {"depth": int, "intersect": list, "require_ascending": bool,
+             "enforce_injective": bool, "restrictions": list,
+             "count_only": bool, "est_rows": (int, float)}, ctx)
+        depth = level.get("depth")
+        if depth != first_depth + i:
+            fail(errors, f"{ctx}: depth {depth!r}, want {first_depth + i}")
+            continue
+        for p in level.get("intersect") or []:
+            if not isinstance(p, int) or not 0 <= p < depth:
+                fail(errors, f"{ctx}.intersect: position {p!r} not in "
+                     f"[0, {depth})")
+        if not is_label(level.get("label")):
+            fail(errors, f"{ctx}: label must be '*' or a non-negative "
+                 f"integer")
+        for j, r in enumerate(level.get("restrictions") or []):
+            rctx = f"{ctx}.restrictions[{j}]"
+            if not isinstance(r, dict):
+                fail(errors, f"{rctx}: not an object")
+                continue
+            check_typed_keys(errors, r,
+                             {"smaller_pos": int, "larger_pos": int}, rctx)
+            lo, hi = r.get("smaller_pos"), r.get("larger_pos")
+            if isinstance(lo, int) and isinstance(hi, int):
+                if lo == hi or max(lo, hi) > depth or min(lo, hi) < 0 \
+                        or depth not in (lo, hi):
+                    fail(errors, f"{rctx}: positions ({lo}, {hi}) do not "
+                         f"constrain depth {depth}")
+        ws = level.get("write_strategy")
+        if ws not in PLAN_WRITE_STRATEGIES:
+            fail(errors, f"{ctx}: unknown write_strategy {ws!r}")
+        pm = level.get("pre_merge")
+        if pm != "inherit" and not isinstance(pm, bool):
+            fail(errors, f"{ctx}: pre_merge must be 'inherit' or a bool")
+        if isinstance(level.get("est_rows"), (int, float)) \
+                and level["est_rows"] < 0:
+            fail(errors, f"{ctx}: negative est_rows")
+
+
+def validate_plan(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("schema") != "gamma.plan.v1":
+        fail(errors, f"schema is {doc.get('schema')!r}, want "
+             f"'gamma.plan.v1'")
+    kind = doc.get("kind")
+    if kind not in PLAN_KINDS:
+        fail(errors, f"unknown kind {kind!r} (know: {list(PLAN_KINDS)})")
+        return errors
+    check_typed_keys(errors, doc,
+                     {"symmetry_broken": bool, "automorphisms": int,
+                      "estimated_cost": (int, float)}, "document")
+    if isinstance(doc.get("automorphisms"), int) \
+            and doc["automorphisms"] < 1:
+        fail(errors, "automorphisms < 1")
+    n = None
+    if kind in ("subgraph-match", "edge-join"):
+        n = check_plan_pattern(errors, doc.get("pattern"), "pattern")
+    if kind in ("subgraph-match", "motif-census"):
+        if kind == "motif-census" and isinstance(doc.get("order"), list):
+            n = len(doc["order"])
+        check_plan_levels(errors, doc, n)
+    if kind == "edge-join":
+        edge_order = doc.get("edge_order")
+        if not isinstance(edge_order, list):
+            fail(errors, "'edge_order' is missing or not an array")
+        else:
+            pattern = doc.get("pattern")
+            if isinstance(pattern, dict) \
+                    and isinstance(pattern.get("edges"), list) \
+                    and len(edge_order) != len(pattern["edges"]):
+                fail(errors, f"edge_order covers {len(edge_order)} edges, "
+                     f"pattern has {len(pattern['edges'])}")
+    if kind == "frequent-mining":
+        fpm = doc.get("fpm")
+        if not isinstance(fpm, dict):
+            fail(errors, "'fpm' is missing or not an object")
+        else:
+            check_typed_keys(errors, fpm,
+                             {"max_edges": int, "min_support": int}, "fpm")
+            if isinstance(fpm.get("max_edges"), int) \
+                    and fpm["max_edges"] < 1:
+                fail(errors, "fpm.max_edges < 1")
+    return errors
+
+
 VALIDATORS = {
     "gamma.bench.v1": validate,
     "gamma.adaptivity.v1": validate_adaptivity,
     "gamma.metrics.v1": validate_metrics,
     "gamma.check.v1": validate_check,
     "gamma.critpath.v1": validate_critpath,
+    "gamma.plan.v1": validate_plan,
 }
 
 
@@ -631,6 +829,11 @@ def main(argv):
         print(f"{argv[1]}: OK — {tag}, {doc['commands']} commands, "
               f"bound on {doc['binding']}, "
               f"{len(doc.get('whatif', []))} what-ifs")
+    elif schema == "gamma.plan.v1":
+        sym = "symmetry-broken" if doc.get("symmetry_broken") \
+            else "unrestricted"
+        print(f"{argv[1]}: OK — {doc['kind']} plan, "
+              f"{len(doc.get('levels', []))} level(s), {sym}")
     else:
         print(f"{argv[1]}: OK — {len(doc['samples'])} samples, "
               f"{len(doc['columns'])} columns")
