@@ -69,10 +69,21 @@ inline gpusim::SimParams InCoreDeviceParams() {
   return p;
 }
 
+/// Plan profiler attach switch for GAMMA bench runs, settable with
+/// `--planprof=off` (see Main). On by default: profiling is observation
+/// only (bit-identical cycles and counters — the planprof smoke CI job
+/// diffs on-vs-off bench JSON at tolerance zero to enforce it), and the
+/// per-level Q-error digest lands in the bench JSON.
+inline bool& BenchPlanProf() {
+  static bool enabled = true;
+  return enabled;
+}
+
 /// GAMMA options sized for the bench device.
 inline core::GammaOptions BenchGammaOptions() {
   core::GammaOptions options = baselines::GammaDefaultOptions();
   options.extension.pool_bytes = 2ull << 20;
+  options.plan_profile = BenchPlanProf();
   return options;
 }
 
@@ -128,6 +139,9 @@ struct BenchRun {
   /// Compiled-plan summary when the variant ran through the pattern
   /// compiler (plan.enabled stays false otherwise; no JSON is emitted).
   core::PlanSummary plan;
+  /// Plan-profiler digest when the variant ran with a profiler attached
+  /// (planprof.enabled stays false otherwise; no JSON is emitted).
+  core::PlanProfSummary planprof;
 };
 
 /// Collects every RegisterSim run of a bench binary and writes one
@@ -233,6 +247,25 @@ class BenchJson {
         w.EndArray();
         w.Key("levels").Value(r.plan.levels);
         w.Key("symmetry_broken").Value(r.plan.symmetry_broken);
+        w.EndObject();
+      }
+      if (r.planprof.enabled) {
+        w.Key("planprof").BeginObject();
+        w.Key("worst_q_error").Value(r.planprof.worst_q_error);
+        w.Key("worst_q_error_depth").Value(r.planprof.worst_q_error_depth);
+        w.Key("imbalance").Value(r.planprof.imbalance);
+        w.Key("levels").BeginArray();
+        for (const core::PlanProfSummary::Level& level : r.planprof.levels) {
+          w.BeginObject();
+          w.Key("label").Value(level.label);
+          w.Key("depth").Value(level.depth);
+          w.Key("has_estimate").Value(level.has_estimate);
+          w.Key("est_rows").Value(level.est_rows);
+          w.Key("rows").Value(level.rows);
+          w.Key("q_error").Value(level.q_error);
+          w.EndObject();
+        }
+        w.EndArray();
         w.EndObject();
       }
       if (r.adaptivity.enabled) {
@@ -384,6 +417,15 @@ inline void ReportPlan(benchmark::State& state,
   if (BenchRun* r = BenchJson::Get().Current()) r->plan = summary;
 }
 
+/// Attaches a run's plan-profiler digest to the current BenchJson record
+/// and surfaces the worst per-level Q-error as a benchmark counter.
+inline void ReportPlanProf(benchmark::State& state,
+                           const core::PlanProfSummary& summary) {
+  if (!summary.enabled) return;
+  state.counters["worst_q_err"] = summary.worst_q_error;
+  if (BenchRun* r = BenchJson::Get().Current()) r->planprof = summary;
+}
+
 /// Registers a single-shot manual-time benchmark. The installed
 /// google-benchmark lacks the variadic RegisterBenchmark overload, so
 /// benches bind their arguments in a capturing lambda. The wrapper also
@@ -425,6 +467,10 @@ inline int Main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       BenchTraceOutPrefix() = arg.substr(12);
+    } else if (arg == "--planprof=off") {
+      BenchPlanProf() = false;
+    } else if (arg == "--planprof=on") {
+      BenchPlanProf() = true;
     } else if (arg.rfind("--host-threads=", 0) == 0) {
       int threads = std::atoi(arg.c_str() + 15);
       if (threads < 1) {

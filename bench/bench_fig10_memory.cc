@@ -52,6 +52,7 @@ void BM_MemorySm(benchmark::State& state, std::string dataset, System sys) {
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportPlan(state, r.value().plan);
+    bench::ReportPlanProf(state, r.value().planprof);
     ReportMemory(state, r.value());
   }
 }
@@ -74,6 +75,7 @@ void BM_MemoryKcl(benchmark::State& state, std::string dataset,
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportPlan(state, r.value().plan);
+    bench::ReportPlanProf(state, r.value().planprof);
     ReportMemory(state, r.value());
   }
 }
@@ -98,6 +100,7 @@ void BM_MemoryFpm(benchmark::State& state, std::string dataset,
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportPlan(state, r.value().plan);
+    bench::ReportPlanProf(state, r.value().planprof);
     ReportMemory(state, r.value());
   }
 }

@@ -26,6 +26,7 @@ void BM_Density(benchmark::State& state, int scale, int edge_factor) {
     state.counters["avg_degree"] = g.average_degree();
     state.counters["edges"] = static_cast<double>(g.num_edges());
     state.counters["triangles"] = static_cast<double>(r.value().count);
+    bench::ReportPlanProf(state, r.value().planprof);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }

@@ -34,6 +34,7 @@ void BM_HybridSm(benchmark::State& state, std::string dataset,
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportPlan(state, r.value().plan);
+    bench::ReportPlanProf(state, r.value().planprof);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -52,6 +53,7 @@ void BM_HybridKcl(benchmark::State& state, std::string dataset,
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportPlan(state, r.value().plan);
+    bench::ReportPlanProf(state, r.value().planprof);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }
@@ -70,6 +72,7 @@ void BM_HybridFpm(benchmark::State& state, std::string dataset,
     bench::ReportProfile(state, device);
     bench::ReportAdaptivity(state, r.value().adaptivity);
     bench::ReportPlan(state, r.value().plan);
+    bench::ReportPlanProf(state, r.value().planprof);
     bench::ReportSimMillis(state, r.value().sim_millis);
   }
 }

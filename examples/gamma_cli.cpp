@@ -48,6 +48,9 @@ struct CliOptions {
   std::string pattern_preset;
   std::string plan_out;
   bool plan_auto = false;
+  std::string planprof_out;
+  bool explain = false;
+  bool explain_analyze = false;
   int fpm_edges = 3;
   uint64_t minsup = 0;  // 0 = |E|/10
   std::string placement = "hybrid";
@@ -96,6 +99,19 @@ void Usage() {
       "                     cardinality order, automatic symmetry\n"
       "                     breaking, statistics-driven start mode and\n"
       "                     per-level write strategies\n"
+      "  --planprof-out F   write a gamma.planprof.v1 plan-execution\n"
+      "                     audit: per-level estimated vs actual rows\n"
+      "                     (Q-error), candidates and selectivity,\n"
+      "                     strategy provenance, resource-class cycle\n"
+      "                     attribution, and warp-slot load imbalance.\n"
+      "                     Observation only: a profiled run is\n"
+      "                     bit-identical in cycles and counters\n"
+      "  --explain          print the compiled plan as an aligned table\n"
+      "                     (levels, estimates, strategies) and exit\n"
+      "                     without running\n"
+      "  --explain-analyze  run, then print the plan table joined with\n"
+      "                     actual rows, Q-error, binding resource class,\n"
+      "                     and per-level load imbalance\n"
       "  --fpm-edges N      FPM pattern size in edges (default 3)\n"
       "  --minsup N         FPM support threshold (default |E|/10)\n"
       "  --placement P      hybrid | unified | zerocopy | device | explicit\n"
@@ -171,6 +187,12 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->plan_out = next();
     } else if (a == "--plan-auto") {
       o->plan_auto = true;
+    } else if (a == "--planprof-out") {
+      o->planprof_out = next();
+    } else if (a == "--explain") {
+      o->explain = true;
+    } else if (a == "--explain-analyze") {
+      o->explain_analyze = true;
     } else if (a == "--fpm-edges") {
       o->fpm_edges = std::atoi(next());
     } else if (a == "--minsup") {
@@ -335,6 +357,152 @@ bool WritePlan(const std::string& path, const core::CompiledPlan& plan) {
   return true;
 }
 
+// Compiles the plan the chosen task would run — the same preset entry
+// points the run path drives — without executing it (--explain).
+Result<core::CompiledPlan> CompileTaskPlan(const CliOptions& o,
+                                           const graph::Graph& g) {
+  core::PatternCompiler compiler(&g);
+  if (o.task == "kcl") {
+    return compiler.CompileKClique(o.k, /*count_only_last=*/false);
+  }
+  if (o.task == "motif") return compiler.CompileMotifCensus(o.k);
+  if (o.task == "fpm") {
+    const uint64_t minsup = o.minsup ? o.minsup : g.num_edges() / 10;
+    return compiler.CompileFpm(o.fpm_edges, minsup);
+  }
+  if (o.task == "sm") {
+    auto pattern = ResolvePattern(o, g);
+    if (!pattern.ok()) return pattern.status();
+    core::CompileOptions copts;
+    if (o.plan_auto) {
+      copts.plan_strategy = core::PlanStrategy::kGreedyCardinality;
+      copts.break_symmetry = true;
+      copts.fold_ascending = true;
+      copts.input_aware = true;
+    } else if (o.symmetric) {
+      copts.break_symmetry = true;
+    }
+    return compiler.CompileMatch(pattern.value(), copts);
+  }
+  return Status::InvalidArgument("unknown task: " + o.task);
+}
+
+std::string IntersectText(const std::vector<int>& positions) {
+  if (positions.empty()) return "union";
+  std::string s = "[";
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(positions[i]);
+  }
+  return s + "]";
+}
+
+std::string LabelText(graph::Label label) {
+  return label == graph::Pattern::kAnyLabel ? "*" : std::to_string(label);
+}
+
+void PrintPlanHeadline(const core::CompiledPlan& plan) {
+  std::printf("plan: %s", core::PlanKindName(plan.kind));
+  if (!plan.order.empty()) {
+    std::printf("  order=[");
+    for (std::size_t i = 0; i < plan.order.size(); ++i) {
+      std::printf(i > 0 ? " %d" : "%d", plan.order[i]);
+    }
+    std::printf("]");
+  }
+  if (plan.kind == core::PlanKind::kSubgraphMatch ||
+      plan.kind == core::PlanKind::kMotifCensus) {
+    std::printf("  start=%s", core::StartModeName(plan.start));
+  }
+  if (plan.symmetry_broken) std::printf("  symmetry-broken");
+  if (plan.kind == core::PlanKind::kFrequentMining) {
+    std::printf("  max_edges=%d  min_support=%llu", plan.max_edges,
+                static_cast<unsigned long long>(plan.min_support));
+  }
+  std::printf("\n");
+}
+
+// --explain: the compiled plan as an aligned per-level table.
+void PrintExplain(const core::CompiledPlan& plan) {
+  PrintPlanHeadline(plan);
+  if (plan.kind == core::PlanKind::kFrequentMining) {
+    std::printf("  %d aggregate/filter/extend iterations over the edge "
+                "table\n",
+                plan.max_edges);
+    return;
+  }
+  if (plan.kind == core::PlanKind::kEdgeJoin) {
+    std::printf("  edge order:");
+    for (auto [a, b] : plan.edge_order) std::printf(" (%d,%d)", a, b);
+    std::printf("\n");
+    return;
+  }
+  std::printf("  %-7s %5s  %-10s %5s  %-14s %-9s %12s\n", "level", "depth",
+              "intersect", "label", "write", "pre-merge", "est_rows");
+  const double start_est = plan.start == core::StartMode::kEdgeParallel
+                               ? plan.est_pair_rows
+                               : plan.est_start_rows;
+  std::printf("  %-7s %5d  %-10s %5s  %-14s %-9s %12.6g\n", "start",
+              plan.first_depth() - 1, "-",
+              LabelText(plan.start_label).c_str(), "-", "-", start_est);
+  for (std::size_t i = 0; i < plan.levels.size(); ++i) {
+    const core::CompiledLevel& level = plan.levels[i];
+    const int depth = plan.first_depth() + static_cast<int>(i);
+    const std::string name = "L" + std::to_string(depth);
+    std::printf("  %-7s %5d  %-10s %5s  %-14s %-9s %12.6g\n", name.c_str(),
+                depth, IntersectText(level.intersect_positions).c_str(),
+                LabelText(level.candidate_label).c_str(),
+                level.write_strategy
+                    ? core::WriteStrategyName(*level.write_strategy)
+                    : "inherit",
+                level.pre_merge ? (*level.pre_merge ? "yes" : "no")
+                                : "inherit",
+                level.est_rows);
+  }
+}
+
+// --explain-analyze: the profiled run as an aligned per-level table
+// joining estimates with actuals.
+void PrintExplainAnalyze(core::PlanProfiler* prof) {
+  const core::PlanProfSummary summary = prof->Summary();
+  std::printf("  %-9s %5s %12s %12s %8s %12s %7s  %-17s %-9s %6s\n",
+              "level", "depth", "est_rows", "rows", "q_error", "candidates",
+              "select", "strategy", "binding", "imbal");
+  for (const core::PlanProfSegment& seg : prof->segments()) {
+    std::string strategy = "-";
+    if (seg.has_strategy) {
+      strategy = seg.strategy.write_strategy;
+      if (seg.strategy.pre_merge) strategy += "+pm";
+      if (seg.strategy.count_only) strategy += "+cnt";
+    }
+    char est[24];
+    char q[16];
+    if (seg.has_estimate) {
+      std::snprintf(est, sizeof(est), "%12.6g", seg.est_rows);
+      std::snprintf(q, sizeof(q), "%8.2f", seg.q_error);
+    } else {
+      std::snprintf(est, sizeof(est), "%12s", "-");
+      std::snprintf(q, sizeof(q), "%8s", "-");
+    }
+    std::printf("  %-9s %5d %s %12llu %s %12llu %7.3f  %-17s %-9s %6.2f\n",
+                seg.label.c_str(), seg.depth, est,
+                static_cast<unsigned long long>(seg.rows), q,
+                static_cast<unsigned long long>(seg.candidates),
+                seg.selectivity, strategy.c_str(),
+                seg.attributed ? gpusim::ResourceClassName(seg.binding)
+                               : "-",
+                seg.imbalance);
+  }
+  if (summary.worst_q_error > 0) {
+    std::printf("  worst Q-error %.2f at depth %d; run imbalance %.2f\n",
+                summary.worst_q_error, summary.worst_q_error_depth,
+                summary.imbalance);
+  } else {
+    std::printf("  no cardinality estimates; run imbalance %.2f\n",
+                summary.imbalance);
+  }
+}
+
 core::GammaOptions FrameworkOptions(const CliOptions& o) {
   core::GammaOptions options = baselines::GammaDefaultOptions();
   if (o.placement == "unified") {
@@ -362,6 +530,7 @@ core::GammaOptions FrameworkOptions(const CliOptions& o) {
   // The audit also feeds the --stats summary line, so either flag turns
   // it on (the engine ignores it for placements with no host traffic).
   options.adaptivity_audit = !o.adaptivity_out.empty() || o.show_stats;
+  options.plan_profile = !o.planprof_out.empty() || o.explain_analyze;
   return options;
 }
 
@@ -386,6 +555,21 @@ int main(int argc, char** argv) {
   g.EnsureEdgeIndex();
   std::printf("graph: %s\n", g.DebugString().c_str());
 
+  if (o.explain) {
+    // Plan only — compile the task's plan and print it without running.
+    auto plan = CompileTaskPlan(o, g);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "explain: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    PrintExplain(plan.value());
+    if (!o.plan_out.empty() && !WritePlan(o.plan_out, plan.value())) {
+      return 1;
+    }
+    return 0;
+  }
+
   gpusim::SimParams params;
   params.device_memory_bytes = o.device_mb << 20;
   params.um_device_buffer_bytes = params.device_memory_bytes / 8;
@@ -398,6 +582,11 @@ int main(int argc, char** argv) {
   if (o.trace_capacity > 0) device.set_trace_capacity(o.trace_capacity);
   if (!o.trace_out.empty()) device.trace().set_enabled(true);
   if (!o.critpath_out.empty()) device.critpath().set_enabled(true);
+  // The plan profiler's resource attribution and binding columns come from
+  // the critpath command log; recording it stays observation-only.
+  if (!o.planprof_out.empty() || o.explain_analyze) {
+    device.critpath().set_enabled(true);
+  }
   if (!o.metrics_out.empty()) {
     device.metrics().set_interval_cycles(o.metrics_interval);
   }
@@ -634,6 +823,25 @@ int main(int argc, char** argv) {
     out << engine->audit()->ToJson();
     std::printf("adaptivity audit written to %s (%zu extension records)\n",
                 o.adaptivity_out.c_str(), engine->audit()->records().size());
+  }
+  if (o.explain_analyze || !o.planprof_out.empty()) {
+    core::PlanProfiler* prof = engine->plan_profiler();
+    if (prof == nullptr || !prof->has_run()) {
+      std::fprintf(stderr, "planprof: task produced no profiled run\n");
+      return 1;
+    }
+    if (o.explain_analyze) PrintExplainAnalyze(prof);
+    if (!o.planprof_out.empty()) {
+      std::ofstream out(o.planprof_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     o.planprof_out.c_str());
+        return 1;
+      }
+      out << prof->ToJson();
+      std::printf("planprof written to %s (%zu levels)\n",
+                  o.planprof_out.c_str(), prof->segments().size());
+    }
   }
   if (o.check) {
     // Tear the engine down first so buffers it still owns are released and

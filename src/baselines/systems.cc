@@ -19,6 +19,9 @@ GpuRunResult Snapshot(gpusim::Device* device, core::GammaEngine* engine,
   if (engine != nullptr && engine->audit() != nullptr) {
     r.adaptivity = engine->audit()->Summary();
   }
+  if (engine != nullptr && engine->plan_profiler() != nullptr) {
+    r.planprof = engine->plan_profiler()->Summary();
+  }
   if (plan != nullptr) r.plan = plan->Summary();
   return r;
 }

@@ -27,6 +27,10 @@ struct GpuRunResult {
   /// Compiled-plan summary of the run (enabled=false for systems that do
   /// not run through the pattern compiler).
   core::PlanSummary plan;
+  /// Plan-profiler digest — per-level estimate-vs-actual rows, worst
+  /// Q-error, load imbalance (enabled=false when the run's GammaOptions
+  /// did not attach a profiler).
+  core::PlanProfSummary planprof;
 };
 
 /// CPU system models as configured for the paper's comparisons.

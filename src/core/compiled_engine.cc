@@ -22,19 +22,47 @@ Result<CompiledRunResult> CompiledEngine::Run(const CompiledPlan& plan) {
   return Status::InvalidArgument("unknown plan kind");
 }
 
+namespace {
+
+// Labels are per-run-unique, so the profiler's phase markers never alias.
+std::string LevelLabel(const char* prefix, int n) {
+  return std::string(prefix) + std::to_string(n);
+}
+
+}  // namespace
+
 Result<CompiledRunResult> CompiledEngine::RunVertexPlan(
     const CompiledPlan& plan) {
   CompiledRunResult result;
   gpusim::Device* device = engine_->device();
+  PlanProfiler* prof = engine_->plan_profiler();
   const double start = device->now_cycles();
+  if (prof != nullptr) {
+    prof->BeginRun(plan, device);
+    PlanProfLevelInput in;
+    in.label = "start";
+    in.depth = plan.first_depth() - 1;
+    in.est_rows = plan.start == StartMode::kEdgeParallel
+                      ? plan.est_pair_rows
+                      : plan.est_start_rows;
+    in.has_estimate = in.est_rows > 0;
+    prof->BeginSegment(std::move(in));
+  }
 
   auto table =
       plan.start == StartMode::kEdgeParallel
           ? engine_->InitVertexPairTable(plan.start_label, plan.second_label,
                                          plan.start_ascending)
           : engine_->InitVertexTable(plan.start_label);
-  if (!table.ok()) return table.status();
+  if (!table.ok()) {
+    if (prof != nullptr) prof->AbortRun();
+    return table.status();
+  }
   EmbeddingTable* et = table.value().get();
+  if (prof != nullptr) {
+    const uint64_t rows = et->num_embeddings();
+    prof->EndSegment(/*input_rows=*/0, /*candidates=*/0, rows);
+  }
 
   const ExtensionOptions saved = engine_->options().extension;
   uint64_t last_count = 0;
@@ -69,9 +97,33 @@ Result<CompiledRunResult> CompiledEngine::RunVertexPlan(
     live.count_only = saved.count_only || level.count_only;
     if (level.write_strategy) live.write_strategy = *level.write_strategy;
     if (level.pre_merge) live.pre_merge = *level.pre_merge;
+    if (prof != nullptr) {
+      PlanProfLevelInput in;
+      in.label = LevelLabel("L", depth);
+      in.depth = depth;
+      in.est_rows = level.est_rows;
+      in.has_estimate = level.est_rows > 0;
+      in.intersect_width =
+          static_cast<int>(level.intersect_positions.size());
+      in.union_extension = level.intersect_positions.empty();
+      in.has_strategy = true;
+      in.strategy.write_strategy = WriteStrategyName(live.write_strategy);
+      in.strategy.write_strategy_from_plan = level.write_strategy.has_value();
+      in.strategy.pre_merge = live.pre_merge;
+      in.strategy.pre_merge_from_plan = level.pre_merge.has_value();
+      in.strategy.count_only = live.count_only;
+      prof->BeginSegment(std::move(in));
+    }
     auto stats = engine_->VertexExtension(et, spec);
     engine_->mutable_options().extension = saved;
-    if (!stats.ok()) return stats.status();
+    if (!stats.ok()) {
+      if (prof != nullptr) prof->AbortRun();
+      return stats.status();
+    }
+    if (prof != nullptr) {
+      prof->EndSegment(stats.value().input_rows, stats.value().candidates,
+                       stats.value().results);
+    }
     result.steps.push_back(stats.value());
     if (level.count_only) {
       last_count = stats.value().results;
@@ -85,8 +137,21 @@ Result<CompiledRunResult> CompiledEngine::RunVertexPlan(
     PatternTable pt;
     AggregationOptions agg_options = engine_->options().aggregation;
     agg_options.use_labels = false;
+    if (prof != nullptr) {
+      PlanProfLevelInput in;
+      in.label = "aggregate";
+      in.depth = plan.first_depth() + static_cast<int>(plan.levels.size());
+      prof->BeginSegment(std::move(in));
+    }
     auto agg = Aggregate(*et, &engine_->accessor(), &pt, agg_options);
-    if (!agg.ok()) return agg.status();
+    if (!agg.ok()) {
+      if (prof != nullptr) prof->AbortRun();
+      return agg.status();
+    }
+    if (prof != nullptr) {
+      prof->EndSegment(et->num_embeddings(), /*candidates=*/0,
+                       pt.entries().size());
+    }
     for (const PatternEntry& e : pt.entries()) {
       uint64_t orderings = graph::CountConnectedOrderings(e.exemplar);
       GAMMA_CHECK(orderings > 0) << "disconnected motif shape";
@@ -103,6 +168,7 @@ Result<CompiledRunResult> CompiledEngine::RunVertexPlan(
                            : result.embeddings / plan.automorphisms;
   }
 
+  if (prof != nullptr) prof->FinishRun();
   result.sim_millis =
       device->params().CyclesToMillis(device->now_cycles() - start);
   return result;
@@ -113,16 +179,44 @@ Result<CompiledRunResult> CompiledEngine::RunFrequentMining(
   GAMMA_CHECK(plan.max_edges >= 1) << "need at least one iteration";
   CompiledRunResult result;
   gpusim::Device* device = engine_->device();
+  PlanProfiler* prof = engine_->plan_profiler();
   const double start = device->now_cycles();
+  if (prof != nullptr) {
+    prof->BeginRun(plan, device);
+    PlanProfLevelInput in;
+    in.label = "start";
+    in.depth = 1;  // one matched edge per row
+    prof->BeginSegment(std::move(in));
+  }
 
   auto table = engine_->InitEdgeTable();
-  if (!table.ok()) return table.status();
+  if (!table.ok()) {
+    if (prof != nullptr) prof->AbortRun();
+    return table.status();
+  }
   EmbeddingTable* et = table.value().get();
+  if (prof != nullptr) {
+    prof->EndSegment(/*input_rows=*/0, /*candidates=*/0,
+                     et->num_embeddings());
+  }
 
   for (int i = 1; i <= plan.max_edges; ++i) {
+    // Iteration i audits the i-edge patterns, then (except on the last
+    // round) extends the survivors to i+1 edges.
+    const uint64_t rows_in = et->num_embeddings();
+    uint64_t candidates = 0;
+    if (prof != nullptr) {
+      PlanProfLevelInput in;
+      in.label = LevelLabel("it", i);
+      in.depth = i;
+      prof->BeginSegment(std::move(in));
+    }
     // PT = PT ∪ Aggregation(ET, m_f)
     auto agg = engine_->Aggregation(*et, &result.patterns);
-    if (!agg.ok()) return agg.status();
+    if (!agg.ok()) {
+      if (prof != nullptr) prof->AbortRun();
+      return agg.status();
+    }
     // Filtering(ET, PT, sup_min): invalidate infrequent patterns and drop
     // their instances.
     result.patterns.InvalidateBelow(plan.min_support);
@@ -134,11 +228,19 @@ Result<CompiledRunResult> CompiledEngine::RunFrequentMining(
       EdgeExtensionSpec spec;
       spec.canonical_only = true;
       auto stats = engine_->EdgeExtension(et, spec);
-      if (!stats.ok()) return stats.status();
+      if (!stats.ok()) {
+        if (prof != nullptr) prof->AbortRun();
+        return stats.status();
+      }
+      candidates = stats.value().candidates;
       result.steps.push_back(stats.value());
+    }
+    if (prof != nullptr) {
+      prof->EndSegment(rows_in, candidates, et->num_embeddings());
     }
   }
 
+  if (prof != nullptr) prof->FinishRun();
   result.sim_millis =
       device->params().CyclesToMillis(device->now_cycles() - start);
   return result;
@@ -153,15 +255,30 @@ Result<CompiledRunResult> CompiledEngine::RunEdgeJoin(
   const graph::Pattern& query = plan.pattern;
   const std::vector<std::pair<int, int>>& query_edges = plan.edge_order;
 
+  PlanProfiler* prof = engine_->plan_profiler();
+  if (prof != nullptr) {
+    prof->BeginRun(plan, device);
+    PlanProfLevelInput in;
+    in.label = "start";
+    in.depth = 1;  // one matched query edge after the seed filter
+    prof->BeginSegment(std::move(in));
+  }
   auto table = engine_->InitEdgeTable();
-  if (!table.ok()) return table.status();
+  if (!table.ok()) {
+    if (prof != nullptr) prof->AbortRun();
+    return table.status();
+  }
   EmbeddingTable* et = table.value().get();
+  const uint64_t seed_rows = et->num_embeddings();
 
   // Filter the length-1 table down to edges matching the first query edge.
   engine_->Filtering(et, [&](std::span<const Unit> emb) {
     std::vector<graph::EdgeId> edges(emb.begin(), emb.end());
     return graph::MatchesQueryPrefix(g, edges, query, query_edges);
   });
+  if (prof != nullptr) {
+    prof->EndSegment(seed_rows, seed_rows, et->num_embeddings());
+  }
 
   for (std::size_t k = 1; k < query_edges.size(); ++k) {
     EdgeExtensionSpec spec;
@@ -171,11 +288,25 @@ Result<CompiledRunResult> CompiledEngine::RunEdgeJoin(
       edges.push_back(cand);
       return graph::MatchesQueryPrefix(g, edges, query, query_edges);
     };
+    if (prof != nullptr) {
+      PlanProfLevelInput in;
+      in.label = LevelLabel("e", static_cast<int>(k));
+      in.depth = static_cast<int>(k) + 1;  // matched edges after the step
+      prof->BeginSegment(std::move(in));
+    }
     auto stats = engine_->EdgeExtension(et, spec);
-    if (!stats.ok()) return stats.status();
+    if (!stats.ok()) {
+      if (prof != nullptr) prof->AbortRun();
+      return stats.status();
+    }
+    if (prof != nullptr) {
+      prof->EndSegment(stats.value().input_rows, stats.value().candidates,
+                       stats.value().results);
+    }
     result.steps.push_back(stats.value());
   }
 
+  if (prof != nullptr) prof->FinishRun();
   result.embeddings = et->num_embeddings();
   // Distinct instances = distinct edge sets among the matched sequences.
   std::unordered_set<uint64_t> distinct;

@@ -37,6 +37,9 @@ GammaEngine::GammaEngine(gpusim::Device* device, const graph::Graph* graph,
     device_->set_access_observer(audit_.get());
     accessor_.set_audit(audit_.get());
   }
+  if (options_.plan_profile) {
+    plan_profiler_ = std::make_unique<PlanProfiler>();
+  }
 }
 
 Status GammaEngine::Prepare() {

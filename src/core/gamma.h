@@ -11,6 +11,7 @@
 #include "core/extension.h"
 #include "core/filtering.h"
 #include "core/pattern_table.h"
+#include "core/plan_profiler.h"
 #include "gpusim/device.h"
 #include "graph/csr.h"
 
@@ -32,6 +33,13 @@ struct GammaOptions {
   /// default — observing is read-only, but the shadow replay costs real
   /// wall-clock time.
   bool adaptivity_audit = false;
+  /// Attaches a core::PlanProfiler for the run: per-level estimate-vs-
+  /// actual rows with Q-error, strategy provenance, resource-class
+  /// attribution, and warp-slot load imbalance (gamma.planprof.v1).
+  /// Observation only — a profiled run is bit-identical in cycles and
+  /// DeviceStats to an unprofiled one. Attribution and slot histograms
+  /// additionally need DeviceParams::record_commands.
+  bool plan_profile = false;
 };
 
 /// The user-facing GAMMA framework façade (Fig. 3).
@@ -105,6 +113,10 @@ class GammaEngine {
   /// enable one (or the placement has no host-memory traffic to audit).
   AdaptivityAudit* audit() { return audit_.get(); }
 
+  /// The run's plan profiler, or nullptr when GammaOptions did not enable
+  /// one. CompiledEngine::Run brackets every plan level through it.
+  PlanProfiler* plan_profiler() { return plan_profiler_.get(); }
+
  private:
   gpusim::Device* device_;
   const graph::Graph* graph_;
@@ -113,6 +125,7 @@ class GammaEngine {
   // Destroyed before accessor_/device_ users run down; the audit detaches
   // itself from the device on destruction.
   std::unique_ptr<AdaptivityAudit> audit_;
+  std::unique_ptr<PlanProfiler> plan_profiler_;
   bool prepared_ = false;
 };
 

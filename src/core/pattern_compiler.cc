@@ -155,6 +155,17 @@ std::string CompiledPlan::ToJson() const {
       WriteLabel(w, second_label);
     }
     w.Key("ascending").Value(start_ascending);
+    // Why this start mode: the raw estimates the input-aware rule
+    // compares, recorded even when input_aware was off (the choice is
+    // then "inherit the preset's vertex-parallel start").
+    w.Key("rationale").BeginObject();
+    w.Key("input_aware").Value(input_aware);
+    w.Key("est_start_rows").Value(est_start_rows);
+    w.Key("est_pair_rows").Value(est_pair_rows);
+    w.Key("edge_parallel_foldable").Value(edge_parallel_foldable);
+    w.Key("edge_parallel_profitable")
+        .Value(edge_parallel_foldable && est_pair_rows >= est_start_rows);
+    w.EndObject();
     w.EndObject();
     w.Key("levels").BeginArray();
     for (std::size_t i = 0; i < levels.size(); ++i) {
@@ -186,6 +197,23 @@ std::string CompiledPlan::ToJson() const {
         w.Key("pre_merge").Value("inherit");
       }
       w.Key("est_rows").Value(level.est_rows);
+      // Why these strategy choices: the inputs the input-aware rules
+      // compare. "inherit" = the plan did not override the engine option.
+      w.Key("rationale").BeginObject();
+      w.Key("intersect_width")
+          .Value(level.intersect_positions.size());
+      w.Key("prealloc_threshold").Value(kPreAllocRowsThreshold);
+      w.Key("write_strategy_rule")
+          .Value(!level.write_strategy ? "inherit"
+                 : level.est_rows >= kPreAllocRowsThreshold
+                     ? "est_rows>=threshold"
+                     : "est_rows<threshold");
+      w.Key("pre_merge_rule")
+          .Value(!level.pre_merge                     ? "inherit"
+                 : level.intersect_positions.size() >= 2
+                     ? "intersect_width>=2"
+                     : "intersect_width<2");
+      w.EndObject();
       w.EndObject();
     }
     w.EndArray();
@@ -263,6 +291,22 @@ CompiledPlan PatternCompiler::CompileMatchWithPlan(
     plan.levels.push_back(std::move(level));
   }
 
+  // Rationale fields are filled whether or not input_aware acts on them
+  // (compiling is pure host analysis), so every plan document carries the
+  // estimates an input-aware compile would have decided from.
+  plan.input_aware = options.input_aware;
+  plan.est_start_rows = EstimateCardinality(*g_, query, plan.order, 0);
+  if (k >= 2) {
+    const CompiledLevel& l1 = plan.levels.front();
+    plan.est_pair_rows = l1.est_rows;
+    plan.edge_parallel_foldable =
+        l1.restrictions.empty() ||
+        (l1.restrictions.size() == 1 &&
+         l1.restrictions[0].smaller_pos == 0 &&
+         l1.restrictions[0].larger_pos == 1) ||
+        l1.require_ascending;
+  }
+
   if (options.input_aware) {
     // Input-aware strategy selection (documented in DESIGN.md):
     //
@@ -275,15 +319,8 @@ CompiledPlan PatternCompiler::CompileMatchWithPlan(
     // extension over a table no smaller than itself.
     if (k >= 2) {
       const CompiledLevel& l1 = plan.levels.front();
-      const bool foldable_r1 =
-          l1.restrictions.empty() ||
-          (l1.restrictions.size() == 1 &&
-           l1.restrictions[0].smaller_pos == 0 &&
-           l1.restrictions[0].larger_pos == 1) ||
-          l1.require_ascending;
-      const double start_rows =
-          EstimateCardinality(*g_, query, plan.order, 0);
-      if (foldable_r1 && l1.est_rows >= start_rows) {
+      if (plan.edge_parallel_foldable &&
+          plan.est_pair_rows >= plan.est_start_rows) {
         plan.start = StartMode::kEdgeParallel;
         plan.second_label = l1.candidate_label;
         plan.start_ascending =
@@ -297,7 +334,7 @@ CompiledPlan PatternCompiler::CompileMatchWithPlan(
     // intersection (pre_merge) pays off once a level intersects >= 2
     // matched adjacency lists.
     for (CompiledLevel& level : plan.levels) {
-      level.write_strategy = level.est_rows >= 1e5
+      level.write_strategy = level.est_rows >= kPreAllocRowsThreshold
                                  ? WriteStrategy::kPreAlloc
                                  : WriteStrategy::kDynamicAlloc;
       level.pre_merge = level.intersect_positions.size() >= 2;

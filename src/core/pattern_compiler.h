@@ -34,6 +34,12 @@ enum class StartMode : uint8_t {
 
 const char* StartModeName(StartMode mode);
 
+/// Input-aware write-strategy cutover: levels whose estimated row count
+/// reaches this threshold pre-allocate (two-pass); smaller levels allocate
+/// dynamically. Serialized into gamma.plan.v1 rationale objects so plan
+/// documents stay auditable if the cutover moves.
+inline constexpr double kPreAllocRowsThreshold = 1e5;
+
 /// One vertex-extension step of a compiled plan. Everything the engine
 /// needs to build the VertexExtensionSpec, plus optional per-level
 /// strategy overrides (unset = inherit the engine's ExtensionOptions, the
@@ -101,6 +107,17 @@ struct CompiledPlan {
   /// kFrequentMining parameters.
   int max_edges = 0;
   uint64_t min_support = 0;
+
+  /// Planner rationale (audit fields; gamma.plan.v1 "rationale" objects).
+  /// The raw cardinality estimates that drove — or, with input_aware off,
+  /// would have driven — the start-mode decision, so plan documents are
+  /// auditable without a run. Zero for kinds without a cardinality model.
+  bool input_aware = false;
+  double est_start_rows = 0;  ///< estimated start-vertex candidates
+  double est_pair_rows = 0;   ///< estimated depth-1 (pair) rows
+  /// Depth-1 restrictions were absent or exactly the foldable (0,1) pair,
+  /// making an edge-parallel start legal.
+  bool edge_parallel_foldable = false;
 
   /// Depth of the first extension level (vertex plans).
   int first_depth() const {

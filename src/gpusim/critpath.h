@@ -82,6 +82,16 @@ struct CommandRecord {
   // Event-wait edge.
   int32_t wait_pred = -1;   // command whose completion the event marks
   double wait_cycles = 0;   // raw event timestamp (fallback when pred -1)
+
+  // Per-slot work distribution (kernels only). slot_busy_cycles[s] is the
+  // total busy cycles of warp slot s (folded over resource classes), one
+  // entry per resident-warp slot; the per-task extremes feed the plan
+  // profiler's load-imbalance histogram. Observation only: `Analyze`
+  // replays the timeline from the fields above and never reads these.
+  std::vector<double> slot_busy_cycles;
+  uint64_t tasks = 0;
+  double task_max_cycles = 0;
+  double task_total_cycles = 0;
 };
 
 /// Bounded recorder for CommandRecords, owned by the Device. Appends are

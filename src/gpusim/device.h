@@ -423,6 +423,8 @@ class Device {
     // makespan).
     std::vector<ResourceCycles> slot_busy;
     if (record_cmds) slot_busy.resize(static_cast<std::size_t>(slots));
+    double task_max = 0.0;
+    double task_total = 0.0;
     std::size_t launch_pcie_bytes = 0;
     // With a host executor, kernel execution is two-phase: first every task
     // function runs on the thread pool with a *recording* context (charges
@@ -457,6 +459,9 @@ class Device {
         auto& busy = slot_busy[static_cast<std::size_t>(slot)];
         const ResourceCycles& task = warp.class_cycles();
         for (int c = 0; c < kNumResourceClasses; ++c) busy[c] += task[c];
+        const double task_cycles = warp.cycles();
+        task_max = std::max(task_max, task_cycles);
+        task_total += task_cycles;
       }
       if (record_slots && end > start) {
         auto& runs = slot_runs[static_cast<std::size_t>(slot)];
@@ -505,6 +510,15 @@ class Device {
       rec.launch_cycles = params_.kernel_launch_cycles;
       rec.makespan = makespan;
       rec.busy = slot_busy[static_cast<std::size_t>(busiest_slot)];
+      rec.slot_busy_cycles.reserve(slot_busy.size());
+      for (const ResourceCycles& busy : slot_busy) {
+        double total = 0.0;
+        for (int c = 0; c < kNumResourceClasses; ++c) total += busy[c];
+        rec.slot_busy_cycles.push_back(total);
+      }
+      rec.tasks = num_tasks;
+      rec.task_max_cycles = task_max;
+      rec.task_total_cycles = task_total;
       if (pcie_cycles > 0) {
         rec.link_transfer = pcie_cycles;
         rec.link_ready = work_start;

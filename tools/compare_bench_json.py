@@ -51,6 +51,12 @@ CYCLE_VALUED_KEYS = {
     "um",
     "sort",
     "sync_idle",
+    # Plan-profiler digest (per-run "planprof" object): Q-error and
+    # imbalance are cycle/estimate ratios, est_rows a float estimate.
+    "q_error",
+    "worst_q_error",
+    "est_rows",
+    "imbalance",
 }
 
 # Keys that may legitimately differ between a baseline and a fresh run:

@@ -8,6 +8,7 @@ dispatching on the document's `schema` field:
   gamma.check.v1       gamma_cli --check-out sanitizer report
   gamma.critpath.v1    gamma_cli --critpath-out bottleneck analysis
   gamma.plan.v1        gamma_cli --plan-out compiled pattern plan
+  gamma.planprof.v1    gamma_cli --planprof-out plan-execution audit
 
 Exits non-zero (with a message per problem) when the document deviates
 from its schema, so CI fails loudly instead of archiving a broken
@@ -125,6 +126,290 @@ PLAN_SUMMARY_KEYS = {
     "levels": (int, float),
     "symmetry_broken": bool,
 }
+
+# Planner rationale objects in gamma.plan.v1 (see
+# core::CompiledPlan::ToJson) — the raw estimates and rule outcomes
+# behind the start-mode and per-level strategy choices.
+PLAN_START_RATIONALE_KEYS = {
+    "input_aware": bool,
+    "est_start_rows": (int, float),
+    "est_pair_rows": (int, float),
+    "edge_parallel_foldable": bool,
+    "edge_parallel_profitable": bool,
+}
+PLAN_LEVEL_RATIONALE_KEYS = {
+    "intersect_width": int,
+    "prealloc_threshold": (int, float),
+    "write_strategy_rule": str,
+    "pre_merge_rule": str,
+}
+PLAN_WRITE_STRATEGY_RULES = ("inherit", "est_rows>=threshold",
+                             "est_rows<threshold")
+PLAN_PRE_MERGE_RULES = ("inherit", "intersect_width>=2",
+                        "intersect_width<2")
+
+# gamma.planprof.v1 vocabulary (see core::PlanProfiler::ToJson).
+# FPM / edge-join runs start from the materialized edge table, which has
+# no vertex-parallel / edge-parallel distinction.
+PLANPROF_START_MODES = PLAN_START_MODES + ("edge-table",)
+PLANPROF_STRATEGY_SOURCES = ("plan", "inherit")
+PLANPROF_LEVEL_KEYS = {
+    "label": str,
+    "depth": int,
+    "has_estimate": bool,
+    "est_rows": (int, float),
+    "input_rows": (int, float),
+    "candidates": (int, float),
+    "rows": (int, float),
+    "q_error": (int, float),
+    "selectivity": (int, float),
+    "intersect_width": int,
+    "union_extension": bool,
+    "cycles": (int, float),
+    "counters": dict,
+    "kernels": (int, float),
+    "tasks": (int, float),
+    "task_max_cycles": (int, float),
+    "task_total_cycles": (int, float),
+    "slots": dict,
+}
+PLANPROF_SUMMARY_LEVEL_KEYS = {
+    "label": str,
+    "depth": int,
+    "has_estimate": bool,
+    "est_rows": (int, float),
+    "rows": (int, float),
+    "q_error": (int, float),
+}
+
+
+def q_error(est_rows, rows):
+    """core::PlanProfiler's Q-error, bit-for-bit: both sides clamped at
+    one row, so empty levels and sub-row estimates stay finite."""
+    e = max(float(est_rows), 1.0)
+    r = max(float(rows), 1.0)
+    return max(e / r, r / e)
+
+
+def check_counters_exact(errors, counters, ctx):
+    """A DeviceStats map must carry exactly the known counter keys."""
+    if not isinstance(counters, dict):
+        fail(errors, f"{ctx}: not an object")
+        return
+    for key in COUNTER_KEYS:
+        if not isinstance(counters.get(key), (int, float)):
+            fail(errors, f"{ctx}: missing or mistyped '{key}'")
+    for key in counters:
+        if key not in COUNTER_KEYS:
+            fail(errors, f"{ctx}: unknown counter '{key}'")
+
+
+def check_planprof_slots(errors, slots, ctx):
+    """Per-warp-slot histogram: count/max/mean/imbalance must reproduce
+    the C++ left-to-right fold over busy_cycles exactly."""
+    if not isinstance(slots, dict):
+        fail(errors, f"{ctx}: not an object")
+        return None
+    check_typed_keys(
+        errors, slots,
+        {"count": (int, float), "busy_cycles": list, "max": (int, float),
+         "mean": (int, float), "imbalance": (int, float)}, ctx)
+    hist = slots.get("busy_cycles")
+    if not isinstance(hist, list) \
+            or not all(isinstance(v, (int, float)) for v in hist):
+        fail(errors, f"{ctx}.busy_cycles: want an array of numbers")
+        return None
+    if slots.get("count") != len(hist):
+        fail(errors, f"{ctx}: count {slots.get('count')!r} != "
+             f"{len(hist)} busy_cycles entries")
+    want_max = max(hist) if hist else 0.0
+    want_mean = 0.0
+    if hist:
+        total = 0.0
+        for v in hist:
+            total += v
+        want_mean = total / len(hist)
+    if slots.get("max") != want_max:
+        fail(errors, f"{ctx}: max {slots.get('max')!r}, want {want_max!r}")
+    if slots.get("mean") != want_mean:
+        fail(errors, f"{ctx}: mean {slots.get('mean')!r}, want "
+             f"{want_mean!r}")
+    want_imb = want_max / want_mean if want_max > 0 and want_mean > 0 \
+        else 0.0
+    if slots.get("imbalance") != want_imb:
+        fail(errors, f"{ctx}: imbalance {slots.get('imbalance')!r}, want "
+             f"{want_imb!r}")
+    return hist
+
+
+def check_planprof_summary_obj(errors, summary, want_levels, ctx):
+    """Summary digest (also embedded in gamma.bench.v1 runs): when the
+    full per-level list is at hand, the worst Q-error and the per-level
+    echo must agree with it exactly."""
+    if not isinstance(summary, dict):
+        fail(errors, f"{ctx}: not an object")
+        return
+    check_typed_keys(
+        errors, summary,
+        {"worst_q_error": (int, float),
+         "worst_q_error_depth": int,
+         "imbalance": (int, float), "levels": list}, ctx)
+    levels = summary.get("levels")
+    if not isinstance(levels, list):
+        return
+    for i, level in enumerate(levels):
+        lctx = f"{ctx}.levels[{i}]"
+        if not isinstance(level, dict):
+            fail(errors, f"{lctx}: not an object")
+            continue
+        check_typed_keys(errors, level, PLANPROF_SUMMARY_LEVEL_KEYS, lctx)
+    if want_levels is None:
+        return
+    worst = 0.0
+    worst_depth = 0
+    digest = []
+    for seg in want_levels:
+        if not isinstance(seg, dict):
+            return  # the levels array already failed validation
+        if seg.get("has_estimate") and \
+                isinstance(seg.get("q_error"), (int, float)) and \
+                seg["q_error"] > worst:
+            worst = seg["q_error"]
+            worst_depth = seg.get("depth")
+        digest.append({key: seg.get(key)
+                       for key in PLANPROF_SUMMARY_LEVEL_KEYS})
+    if summary.get("worst_q_error") != worst:
+        fail(errors, f"{ctx}: worst_q_error "
+             f"{summary.get('worst_q_error')!r}, want {worst!r}")
+    elif worst > 0 and summary.get("worst_q_error_depth") != worst_depth:
+        fail(errors, f"{ctx}: worst_q_error_depth "
+             f"{summary.get('worst_q_error_depth')!r}, want "
+             f"{worst_depth!r}")
+    stripped = [{key: level.get(key) for key in PLANPROF_SUMMARY_LEVEL_KEYS}
+                for level in levels if isinstance(level, dict)]
+    if stripped != digest:
+        fail(errors, f"{ctx}.levels: digest does not match the per-level "
+             f"records")
+
+
+def validate_planprof(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("schema") != "gamma.planprof.v1":
+        fail(errors, f"schema is {doc.get('schema')!r}, want "
+             f"'gamma.planprof.v1'")
+    check_typed_keys(
+        errors, doc,
+        {"kind": str, "start_mode": str, "order": list, "finished": bool,
+         "partial": bool, "dropped_commands": (int, float),
+         "attribution_available": bool, "total_cycles": (int, float),
+         "levels": list, "summary": dict}, "document")
+    if doc.get("kind") not in PLAN_KINDS:
+        fail(errors, f"unknown kind {doc.get('kind')!r}")
+    if doc.get("start_mode") not in PLANPROF_START_MODES:
+        fail(errors, f"unknown start_mode {doc.get('start_mode')!r}")
+    if not doc.get("finished"):
+        fail(errors, "finished is false — aborted runs have no document")
+    levels = doc.get("levels")
+    if not isinstance(levels, list):
+        return errors + ["'levels' is missing or not an array"]
+    if not levels:
+        fail(errors, "'levels' is empty — every run has a start segment")
+    run_hist = []
+    for i, level in enumerate(levels):
+        ctx = f"levels[{i}]"
+        if not isinstance(level, dict):
+            fail(errors, f"{ctx}: not an object")
+            continue
+        ctx = f"levels[{i}] ({level.get('label', '?')})"
+        check_typed_keys(errors, level, PLANPROF_LEVEL_KEYS, ctx)
+        est = level.get("est_rows")
+        rows = level.get("rows")
+        if isinstance(est, (int, float)) and est < 0:
+            fail(errors, f"{ctx}: negative est_rows")
+        # Q-error is the exact clamped ratio when an estimate exists,
+        # and exactly zero when none does.
+        if isinstance(est, (int, float)) and est >= 0 \
+                and isinstance(rows, (int, float)) \
+                and isinstance(level.get("q_error"), (int, float)):
+            want = q_error(est, rows) if level.get("has_estimate") else 0.0
+            if level["q_error"] != want:
+                fail(errors, f"{ctx}: q_error {level['q_error']!r}, want "
+                     f"{want!r}")
+        cand = level.get("candidates")
+        if isinstance(cand, (int, float)) \
+                and isinstance(rows, (int, float)) \
+                and isinstance(level.get("selectivity"), (int, float)):
+            want = rows / cand if cand > 0 else 0.0
+            if level["selectivity"] != want:
+                fail(errors, f"{ctx}: selectivity "
+                     f"{level['selectivity']!r}, want {want!r}")
+        strategy = level.get("strategy")
+        if strategy is not None:
+            sctx = f"{ctx}.strategy"
+            if not isinstance(strategy, dict):
+                fail(errors, f"{sctx}: not an object")
+            else:
+                check_typed_keys(
+                    errors, strategy,
+                    {"write_strategy": str, "write_strategy_source": str,
+                     "pre_merge": bool, "pre_merge_source": str,
+                     "count_only": bool}, sctx)
+                if strategy.get("write_strategy") not in \
+                        PLAN_WRITE_STRATEGIES[1:]:
+                    fail(errors, f"{sctx}: unknown write_strategy "
+                         f"{strategy.get('write_strategy')!r}")
+                for key in ("write_strategy_source", "pre_merge_source"):
+                    if strategy.get(key) not in PLANPROF_STRATEGY_SOURCES:
+                        fail(errors, f"{sctx}: {key} must be 'plan' or "
+                             f"'inherit'")
+        check_counters_exact(errors, level.get("counters"),
+                             f"{ctx}.counters")
+        attribution = level.get("attribution")
+        if attribution is not None:
+            if not doc.get("attribution_available"):
+                fail(errors, f"{ctx}: attributed level in a document with "
+                     f"attribution_available false")
+            attr = check_resource_cycles(errors, attribution,
+                                         f"{ctx}.attribution")
+            cycles = level.get("cycles")
+            if attr is not None and isinstance(cycles, (int, float)):
+                if fold_sum(attr) != cycles:
+                    fail(errors, f"{ctx}.attribution: fold-sum "
+                         f"{fold_sum(attr)!r} != cycles {cycles!r} "
+                         f"(attribution must be exact)")
+            if level.get("binding") not in RESOURCE_CLASSES:
+                fail(errors, f"{ctx}: unknown binding "
+                     f"{level.get('binding')!r}")
+        elif "binding" in level:
+            fail(errors, f"{ctx}: binding without attribution")
+        hist = check_planprof_slots(errors, level.get("slots"),
+                                    f"{ctx}.slots")
+        if hist is not None:
+            if len(run_hist) < len(hist):
+                run_hist.extend([0.0] * (len(hist) - len(run_hist)))
+            for s, v in enumerate(hist):
+                run_hist[s] += v
+    check_planprof_summary_obj(errors, doc.get("summary"), levels,
+                               "summary")
+    # The run-level imbalance folds the per-level histograms elementwise,
+    # mirroring core::PlanProfiler::Summary bit-for-bit.
+    summary = doc.get("summary")
+    if not errors and isinstance(summary, dict):
+        want_max = max(run_hist) if run_hist else 0.0
+        want_mean = 0.0
+        if run_hist:
+            total = 0.0
+            for v in run_hist:
+                total += v
+            want_mean = total / len(run_hist)
+        want_imb = want_max / want_mean \
+            if want_max > 0 and want_mean > 0 else 0.0
+        if summary.get("imbalance") != want_imb:
+            fail(errors, f"summary: imbalance "
+                 f"{summary.get('imbalance')!r}, want {want_imb!r}")
+    return errors
 
 
 def check_plan_summary(errors, plan, ctx):
@@ -277,6 +562,12 @@ def validate(doc):
         plan = run.get("plan")
         if plan is not None:
             check_plan_summary(errors, plan, f"{ctx}.plan")
+        planprof = run.get("planprof")
+        if planprof is not None:
+            # The embedded digest has no per-level slot histograms, so
+            # only its shape and summary-level types are checkable here.
+            check_planprof_summary_obj(errors, planprof, None,
+                                       f"{ctx}.planprof")
         counters = run.get("counters")
         if isinstance(counters, dict):
             for key in COUNTER_KEYS:
@@ -663,6 +954,23 @@ def check_plan_levels(errors, doc, n):
                  "integer")
         if edge_parallel and not is_label(start.get("second_label")):
             fail(errors, "start: edge-parallel needs a second_label")
+        rationale = start.get("rationale")
+        if not isinstance(rationale, dict):
+            fail(errors, "start.rationale is missing or not an object")
+        else:
+            check_typed_keys(errors, rationale, PLAN_START_RATIONALE_KEYS,
+                             "start.rationale")
+            # The profitability bit is a pure function of its inputs.
+            if all(isinstance(rationale.get(k), (bool, int, float))
+                   for k in PLAN_START_RATIONALE_KEYS):
+                want = bool(rationale["edge_parallel_foldable"]
+                            and rationale["est_pair_rows"]
+                            >= rationale["est_start_rows"])
+                if rationale["edge_parallel_profitable"] != want:
+                    fail(errors, f"start.rationale: "
+                         f"edge_parallel_profitable is "
+                         f"{rationale['edge_parallel_profitable']}, "
+                         f"want {want}")
     levels = doc.get("levels")
     if not isinstance(levels, list):
         fail(errors, "'levels' is missing or not an array")
@@ -711,6 +1019,32 @@ def check_plan_levels(errors, doc, n):
         if isinstance(level.get("est_rows"), (int, float)) \
                 and level["est_rows"] < 0:
             fail(errors, f"{ctx}: negative est_rows")
+        rationale = level.get("rationale")
+        if not isinstance(rationale, dict):
+            fail(errors, f"{ctx}.rationale is missing or not an object")
+            continue
+        rctx = f"{ctx}.rationale"
+        check_typed_keys(errors, rationale, PLAN_LEVEL_RATIONALE_KEYS, rctx)
+        rule = rationale.get("write_strategy_rule")
+        if rule not in PLAN_WRITE_STRATEGY_RULES:
+            fail(errors, f"{rctx}: unknown write_strategy_rule {rule!r}")
+        elif ws in PLAN_WRITE_STRATEGIES:
+            # A rule fired exactly when the level pins a strategy.
+            if (rule == "inherit") != (ws == "inherit"):
+                fail(errors, f"{rctx}: write_strategy_rule {rule!r} "
+                     f"inconsistent with write_strategy {ws!r}")
+        pm_rule = rationale.get("pre_merge_rule")
+        if pm_rule not in PLAN_PRE_MERGE_RULES:
+            fail(errors, f"{rctx}: unknown pre_merge_rule {pm_rule!r}")
+        elif (pm_rule == "inherit") != (pm == "inherit"):
+            fail(errors, f"{rctx}: pre_merge_rule {pm_rule!r} "
+                 f"inconsistent with pre_merge {pm!r}")
+        width = rationale.get("intersect_width")
+        if isinstance(width, int) \
+                and isinstance(level.get("intersect"), list) \
+                and width != len(level["intersect"]):
+            fail(errors, f"{rctx}: intersect_width {width} != "
+                 f"{len(level['intersect'])} intersect positions")
 
 
 def validate_plan(doc):
@@ -768,6 +1102,7 @@ VALIDATORS = {
     "gamma.check.v1": validate_check,
     "gamma.critpath.v1": validate_critpath,
     "gamma.plan.v1": validate_plan,
+    "gamma.planprof.v1": validate_planprof,
 }
 
 
@@ -834,6 +1169,12 @@ def main(argv):
             else "unrestricted"
         print(f"{argv[1]}: OK — {doc['kind']} plan, "
               f"{len(doc.get('levels', []))} level(s), {sym}")
+    elif schema == "gamma.planprof.v1":
+        attr = "attributed" if doc.get("attribution_available") \
+            else "no attribution"
+        print(f"{argv[1]}: OK — {doc['kind']} run, "
+              f"{len(doc['levels'])} level(s), worst Q-error "
+              f"{doc['summary'].get('worst_q_error'):.6g}, {attr}")
     else:
         print(f"{argv[1]}: OK — {len(doc['samples'])} samples, "
               f"{len(doc['columns'])} columns")
