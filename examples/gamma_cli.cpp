@@ -27,6 +27,8 @@
 #include "core/compiled_engine.h"
 #include "core/gamma.h"
 #include "core/pattern_compiler.h"
+#include "core/plan_io.h"
+#include "core/plan_verifier.h"
 #include "graph/datasets.h"
 #include "graph/loader.h"
 #include "gpusim/critpath.h"
@@ -47,6 +49,9 @@ struct CliOptions {
   std::string pattern_text;
   std::string pattern_preset;
   std::string plan_out;
+  std::string verify_plan_path;
+  bool verify_plan = false;
+  bool verify_json = false;
   bool plan_auto = false;
   std::string planprof_out;
   bool explain = false;
@@ -95,6 +100,13 @@ void Usage() {
       "                     Implies --task sm\n"
       "  --plan-out F       write the compiled gamma.plan.v1 plan JSON\n"
       "                     (any task) to F\n"
+      "  --verify-plan F    load a gamma.plan.v1 document from F and run\n"
+      "                     the static soundness verifier against the\n"
+      "                     selected graph without executing anything.\n"
+      "                     Prints the obligation report and exits 0 if\n"
+      "                     the plan is verified, 2 if it is refuted or\n"
+      "                     malformed. --verify-plan=json F emits the\n"
+      "                     gamma.verify.v1 JSON report on stdout instead\n"
       "  --plan-auto        input-aware compilation for SM: greedy\n"
       "                     cardinality order, automatic symmetry\n"
       "                     breaking, statistics-driven start mode and\n"
@@ -185,6 +197,13 @@ bool Parse(int argc, char** argv, CliOptions* o) {
       o->pattern_preset = next();
     } else if (a == "--plan-out") {
       o->plan_out = next();
+    } else if (a == "--verify-plan") {
+      o->verify_plan = true;
+      o->verify_plan_path = next();
+    } else if (a == "--verify-plan=json") {
+      o->verify_plan = true;
+      o->verify_json = true;
+      o->verify_plan_path = next();
     } else if (a == "--plan-auto") {
       o->plan_auto = true;
     } else if (a == "--planprof-out") {
@@ -263,58 +282,6 @@ bool Parse(int argc, char** argv, CliOptions* o) {
   return true;
 }
 
-// Pattern file: '#' comments, 'u v' edge lines over vertices 0..k-1, and
-// an optional 'labels l0 l1 ...' line ('*' = wildcard).
-Result<graph::Pattern> LoadPatternFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::InvalidArgument("cannot open " + path);
-  std::vector<std::pair<int, int>> edges;
-  std::vector<std::string> labels;
-  int max_vertex = -1;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (auto hash = line.find('#'); hash != std::string::npos) {
-      line.resize(hash);
-    }
-    std::istringstream tokens(line);
-    std::string first;
-    if (!(tokens >> first)) continue;
-    if (first == "labels") {
-      std::string l;
-      while (tokens >> l) labels.push_back(l);
-      continue;
-    }
-    int u = std::atoi(first.c_str());
-    int v = 0;
-    if (!(tokens >> v)) {
-      return Status::InvalidArgument("bad pattern line: " + line);
-    }
-    if (u < 0 || v < 0 || u == v) {
-      return Status::InvalidArgument("bad pattern edge: " + line);
-    }
-    edges.emplace_back(u, v);
-    max_vertex = std::max({max_vertex, u, v});
-  }
-  if (edges.empty()) {
-    return Status::InvalidArgument("pattern file has no edges");
-  }
-  if (max_vertex + 1 > graph::Pattern::kMaxVertices) {
-    return Status::InvalidArgument("pattern has too many vertices");
-  }
-  if (!labels.empty() &&
-      labels.size() != static_cast<std::size_t>(max_vertex + 1)) {
-    return Status::InvalidArgument("labels line must cover every vertex");
-  }
-  graph::Pattern p(max_vertex + 1);
-  for (auto [u, v] : edges) p.AddEdge(u, v);
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (labels[i] == "*") continue;
-    p.SetLabel(static_cast<int>(i),
-               static_cast<graph::Label>(std::atoi(labels[i].c_str())));
-  }
-  return p;
-}
-
 Result<graph::Pattern> ResolvePattern(const CliOptions& o,
                                       const graph::Graph& g) {
   if (!o.pattern_preset.empty()) {
@@ -337,7 +304,7 @@ Result<graph::Pattern> ResolvePattern(const CliOptions& o,
   if (!o.pattern_text.empty()) {
     // A path on disk wins; anything else is an inline spec.
     if (std::ifstream probe(o.pattern_text); probe) {
-      return LoadPatternFile(o.pattern_text);
+      return graph::ParsePatternFile(o.pattern_text);
     }
     return graph::ParsePattern(o.pattern_text);
   }
@@ -534,6 +501,41 @@ core::GammaOptions FrameworkOptions(const CliOptions& o) {
   return options;
 }
 
+// --verify-plan: load an external gamma.plan.v1 document and run the
+// static soundness verifier against the selected graph. Pure host-side
+// analysis — no device, no engine, no simulated cycles. Returns the
+// process exit code: 0 verified, 2 refuted or malformed.
+int VerifyPlanFile(const CliOptions& o, const graph::Graph& g) {
+  std::ifstream in(o.verify_plan_path);
+  if (!in) {
+    std::fprintf(stderr, "verify-plan: cannot open %s\n",
+                 o.verify_plan_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto plan = core::ParsePlanJson(buffer.str());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "verify-plan: %s\n",
+                 plan.status().ToString().c_str());
+    return 2;
+  }
+  // Verify with the same inherited strategies a run with these CLI flags
+  // would resolve, so tier-3 reservation findings match the run path.
+  core::GammaOptions fw = FrameworkOptions(o);
+  core::VerifyOptions vopts;
+  vopts.graph = &g;
+  vopts.engine_extension = &fw.extension;
+  const core::VerifyReport report =
+      core::PlanVerifier(vopts).Verify(plan.value());
+  if (o.verify_json) {
+    std::fputs(report.ToJson().c_str(), stdout);
+  } else {
+    std::fputs(report.ReportText().c_str(), stdout);
+  }
+  return report.verified ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -553,7 +555,14 @@ int main(int argc, char** argv) {
     g = graph::MakeDataset(o.dataset);
   }
   g.EnsureEdgeIndex();
-  std::printf("graph: %s\n", g.DebugString().c_str());
+  // In --verify-plan=json mode stdout carries exactly one JSON document
+  // so the report can be piped or redirected; the banner moves to stderr.
+  if (o.verify_plan && o.verify_json)
+    std::fprintf(stderr, "graph: %s\n", g.DebugString().c_str());
+  else
+    std::printf("graph: %s\n", g.DebugString().c_str());
+
+  if (o.verify_plan) return VerifyPlanFile(o, g);
 
   if (o.explain) {
     // Plan only — compile the task's plan and print it without running.
@@ -561,7 +570,7 @@ int main(int argc, char** argv) {
     if (!plan.ok()) {
       std::fprintf(stderr, "explain: %s\n",
                    plan.status().ToString().c_str());
-      return 1;
+      return 2;
     }
     PrintExplain(plan.value());
     if (!o.plan_out.empty() && !WritePlan(o.plan_out, plan.value())) {
@@ -627,7 +636,7 @@ int main(int argc, char** argv) {
     if (!pattern.ok()) {
       std::fprintf(stderr, "pattern: %s\n",
                    pattern.status().ToString().c_str());
-      return 1;
+      return 2;
     }
     const graph::Pattern& q = pattern.value();
     std::printf("query: %s\n", q.DebugString().c_str());
@@ -643,7 +652,13 @@ int main(int argc, char** argv) {
     } else if (o.symmetric) {
       copts.break_symmetry = true;
     }
-    core::CompiledPlan plan = compiler.CompileMatch(q, copts);
+    auto compiled = compiler.CompileMatch(q, copts);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "sm: %s\n",
+                   compiled.status().ToString().c_str());
+      return 2;
+    }
+    const core::CompiledPlan& plan = compiled.value();
     auto r = core::CompiledEngine(engine.get()).Run(plan);
     if (!r.ok()) {
       std::fprintf(stderr, "sm: %s\n", r.status().ToString().c_str());

@@ -11,9 +11,9 @@ Result<FpmResult> MineFrequentPatterns(core::GammaEngine* engine,
                                        const FpmOptions& options) {
   GAMMA_CHECK(options.max_edges >= 1) << "need at least one iteration";
   core::PatternCompiler compiler(&engine->graph());
-  core::CompiledPlan plan =
-      compiler.CompileFpm(options.max_edges, options.min_support);
-  auto run = core::CompiledEngine(engine).Run(plan);
+  auto plan = compiler.CompileFpm(options.max_edges, options.min_support);
+  if (!plan.ok()) return plan.status();
+  auto run = core::CompiledEngine(engine).Run(plan.value());
   if (!run.ok()) return run.status();
 
   FpmResult result;
@@ -21,7 +21,7 @@ Result<FpmResult> MineFrequentPatterns(core::GammaEngine* engine,
   result.sim_millis = run.value().sim_millis;
   result.steps = std::move(run.value().steps);
   result.aggregations = std::move(run.value().aggregations);
-  result.plan = std::move(plan);
+  result.plan = std::move(plan).value();
   return result;
 }
 

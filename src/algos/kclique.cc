@@ -10,15 +10,16 @@ Result<KCliqueResult> CountKCliques(core::GammaEngine* engine, int k,
                                     bool count_only_last) {
   GAMMA_CHECK(k >= 2) << "k must be at least 2";
   core::PatternCompiler compiler(&engine->graph());
-  core::CompiledPlan plan = compiler.CompileKClique(k, count_only_last);
-  auto run = core::CompiledEngine(engine).Run(plan);
+  auto plan = compiler.CompileKClique(k, count_only_last);
+  if (!plan.ok()) return plan.status();
+  auto run = core::CompiledEngine(engine).Run(plan.value());
   if (!run.ok()) return run.status();
 
   KCliqueResult result;
   result.cliques = run.value().embeddings;
   result.sim_millis = run.value().sim_millis;
   result.steps = std::move(run.value().steps);
-  result.plan = std::move(plan);
+  result.plan = std::move(plan).value();
   return result;
 }
 

@@ -14,14 +14,15 @@ uint64_t CountConnectedOrderings(const graph::Pattern& p) {
 Result<MotifResult> CountMotifs(core::GammaEngine* engine, int k) {
   GAMMA_CHECK(k >= 2 && k <= 5) << "motif size out of supported range";
   core::PatternCompiler compiler(&engine->graph());
-  core::CompiledPlan plan = compiler.CompileMotifCensus(k);
-  auto run = core::CompiledEngine(engine).Run(plan);
+  auto plan = compiler.CompileMotifCensus(k);
+  if (!plan.ok()) return plan.status();
+  auto run = core::CompiledEngine(engine).Run(plan.value());
   if (!run.ok()) return run.status();
 
   MotifResult result;
   result.motifs = std::move(run.value().motifs);
   result.sim_millis = run.value().sim_millis;
-  result.plan = std::move(plan);
+  result.plan = std::move(plan).value();
   return result;
 }
 

@@ -33,21 +33,21 @@ Result<SmResult> MatchWojWithPlan(core::GammaEngine* engine,
   GAMMA_CHECK(static_cast<int>(plan.order.size()) == query.num_vertices())
       << "plan order size mismatch";
   core::PatternCompiler compiler(&engine->graph());
-  core::CompiledPlan compiled =
-      compiler.CompileMatchWithPlan(query, plan, core::CompileOptions{});
-  auto run = core::CompiledEngine(engine).Run(compiled);
+  auto compiled = compiler.CompileMatchWithPlan(query, plan, core::CompileOptions{});
+  if (!compiled.ok()) return compiled.status();
+  auto run = core::CompiledEngine(engine).Run(compiled.value());
   if (!run.ok()) return run.status();
-  return ProjectSm(std::move(run).value(), std::move(compiled));
+  return ProjectSm(std::move(run).value(), std::move(compiled).value());
 }
 
 Result<SmResult> MatchWoj(core::GammaEngine* engine,
                           const graph::Pattern& query) {
   core::PatternCompiler compiler(&engine->graph());
-  core::CompiledPlan compiled =
-      compiler.CompileMatch(query, core::CompileOptions{});
-  auto run = core::CompiledEngine(engine).Run(compiled);
+  auto compiled = compiler.CompileMatch(query, core::CompileOptions{});
+  if (!compiled.ok()) return compiled.status();
+  auto run = core::CompiledEngine(engine).Run(compiled.value());
   if (!run.ok()) return run.status();
-  return ProjectSm(std::move(run).value(), std::move(compiled));
+  return ProjectSm(std::move(run).value(), std::move(compiled).value());
 }
 
 Result<SmResult> MatchWojSymmetric(core::GammaEngine* engine,
@@ -58,19 +58,21 @@ Result<SmResult> MatchWojSymmetric(core::GammaEngine* engine,
   // restrictions as a post-filter, and inherit-mode runs reproduce it
   // bit-for-bit.
   options.break_symmetry = true;
-  core::CompiledPlan compiled = compiler.CompileMatch(query, options);
-  auto run = core::CompiledEngine(engine).Run(compiled);
+  auto compiled = compiler.CompileMatch(query, options);
+  if (!compiled.ok()) return compiled.status();
+  auto run = core::CompiledEngine(engine).Run(compiled.value());
   if (!run.ok()) return run.status();
-  return ProjectSm(std::move(run).value(), std::move(compiled));
+  return ProjectSm(std::move(run).value(), std::move(compiled).value());
 }
 
 Result<SmResult> MatchBinaryJoin(core::GammaEngine* engine,
                                  const graph::Pattern& query) {
   core::PatternCompiler compiler(&engine->graph());
-  core::CompiledPlan compiled = compiler.CompileEdgeJoin(query);
-  auto run = core::CompiledEngine(engine).Run(compiled);
+  auto compiled = compiler.CompileEdgeJoin(query);
+  if (!compiled.ok()) return compiled.status();
+  auto run = core::CompiledEngine(engine).Run(compiled.value());
   if (!run.ok()) return run.status();
-  return ProjectSm(std::move(run).value(), std::move(compiled));
+  return ProjectSm(std::move(run).value(), std::move(compiled).value());
 }
 
 }  // namespace gpm::algos

@@ -10,6 +10,22 @@
 namespace gpm::core {
 
 Result<CompiledRunResult> CompiledEngine::Run(const CompiledPlan& plan) {
+  // Mandatory admission gate: no plan reaches the interpreter without a
+  // VerifiedPlan witness. Pure host analysis — no simulated cycles.
+  auto verified = VerifiedPlan::Make(plan, MakeVerifyOptions());
+  if (!verified.ok()) return verified.status();
+  return Run(verified.value());
+}
+
+VerifyOptions CompiledEngine::MakeVerifyOptions() const {
+  VerifyOptions options;
+  options.graph = &engine_->graph();
+  options.engine_extension = &engine_->options().extension;
+  return options;
+}
+
+Result<CompiledRunResult> CompiledEngine::Run(const VerifiedPlan& verified) {
+  const CompiledPlan& plan = verified.plan();
   switch (plan.kind) {
     case PlanKind::kSubgraphMatch:
     case PlanKind::kMotifCensus:

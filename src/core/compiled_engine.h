@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/gamma.h"
 #include "core/pattern_compiler.h"
+#include "core/plan_verifier.h"
 #include "graph/pattern.h"
 
 namespace gpm::core {
@@ -38,7 +39,18 @@ class CompiledEngine {
  public:
   explicit CompiledEngine(GammaEngine* engine) : engine_(engine) {}
 
+  /// Verifies `plan` through the static PlanVerifier (against this
+  /// engine's graph and extension options), then interprets it. A refuted
+  /// plan never reaches the interpreter: the call fails with
+  /// kFailedPrecondition naming the violated obligation. Verification is
+  /// pure host-side analysis and charges no simulated cycles.
   Result<CompiledRunResult> Run(const CompiledPlan& plan);
+
+  /// Interprets an already-verified plan (skips re-verification).
+  Result<CompiledRunResult> Run(const VerifiedPlan& plan);
+
+  /// The verifier configuration Run() gates plans with.
+  VerifyOptions MakeVerifyOptions() const;
 
  private:
   Result<CompiledRunResult> RunVertexPlan(const CompiledPlan& plan);

@@ -239,18 +239,33 @@ std::string CompiledPlan::ToJson() const {
   return os.str();
 }
 
-CompiledPlan PatternCompiler::CompileMatch(const graph::Pattern& query,
-                                           const CompileOptions& options) const {
+Result<CompiledPlan> PatternCompiler::CompileMatch(
+    const graph::Pattern& query, const CompileOptions& options) const {
+  if (query.num_vertices() < 1) {
+    return Status::InvalidArgument("cannot compile an empty pattern");
+  }
+  // BuildWojPlan aborts on disconnected queries; reject them up front so
+  // untrusted patterns fail as a structured error.
+  if (!query.ConnectedPrefix(query.DefaultMatchingOrder())) {
+    return Status::InvalidArgument(
+        "pattern graph is not connected: " + query.DebugString());
+  }
   return CompileMatchWithPlan(
       query, BuildWojPlan(*g_, query, options.plan_strategy), options);
 }
 
-CompiledPlan PatternCompiler::CompileMatchWithPlan(
+Result<CompiledPlan> PatternCompiler::CompileMatchWithPlan(
     const graph::Pattern& query, const WojPlan& woj,
     const CompileOptions& options) const {
-  GAMMA_CHECK(query.num_vertices() >= 1) << "empty pattern";
-  GAMMA_CHECK(static_cast<int>(woj.order.size()) == query.num_vertices())
-      << "plan order size mismatch";
+  if (query.num_vertices() < 1) {
+    return Status::InvalidArgument("cannot compile an empty pattern");
+  }
+  if (static_cast<int>(woj.order.size()) != query.num_vertices()) {
+    return Status::InvalidArgument(
+        "plan order has " + std::to_string(woj.order.size()) +
+        " entries for a " + std::to_string(query.num_vertices()) +
+        "-vertex pattern");
+  }
   const int k = query.num_vertices();
 
   CompiledPlan plan;
@@ -276,8 +291,12 @@ CompiledPlan PatternCompiler::CompileMatchWithPlan(
         level.intersect_positions.push_back(j);
       }
     }
-    GAMMA_CHECK(!level.intersect_positions.empty())
-        << "matching order prefix not connected";
+    if (level.intersect_positions.empty()) {
+      return Status::InvalidArgument(
+          "matching order prefix not connected at depth " +
+          std::to_string(d) + " (vertex " + std::to_string(plan.order[d]) +
+          " has no matched neighbor)");
+    }
     level.candidate_label = query.label(plan.order[d]);
     level.enforce_injective = true;
     level.restrictions = ApplicableAt(restrictions, d);
@@ -344,27 +363,35 @@ CompiledPlan PatternCompiler::CompileMatchWithPlan(
   return plan;
 }
 
-CompiledPlan PatternCompiler::CompileKClique(int k,
-                                             bool count_only_last) const {
-  GAMMA_CHECK(k >= 2) << "k-clique needs k >= 2";
+Result<CompiledPlan> PatternCompiler::CompileKClique(
+    int k, bool count_only_last) const {
+  if (k < 2) {
+    return Status::InvalidArgument("k-clique needs k >= 2, got " +
+                                   std::to_string(k));
+  }
   CompileOptions options;
   options.plan_strategy = PlanStrategy::kStructural;
   options.break_symmetry = true;
   options.fold_ascending = true;
   options.count_only_last = count_only_last;
-  CompiledPlan plan = CompileMatch(Pattern::Clique(k), options);
+  Result<CompiledPlan> plan = CompileMatch(Pattern::Clique(k), options);
+  if (!plan.ok()) return plan;
   // The clique's full automorphism group folds into ascending-id
   // extensions at every level; the compiled spec is then field-identical
   // to the legacy hand-written one.
-  for (const CompiledLevel& level : plan.levels) {
-    GAMMA_CHECK(level.require_ascending && level.restrictions.empty())
-        << "clique restrictions did not fold";
+  for (const CompiledLevel& level : plan.value().levels) {
+    if (!level.require_ascending || !level.restrictions.empty()) {
+      return Status::Internal("clique restrictions did not fold");
+    }
   }
   return plan;
 }
 
-CompiledPlan PatternCompiler::CompileMotifCensus(int k) const {
-  GAMMA_CHECK(k >= 2 && k <= 5) << "motif census supports k in [2,5]";
+Result<CompiledPlan> PatternCompiler::CompileMotifCensus(int k) const {
+  if (k < 2 || k > 5) {
+    return Status::InvalidArgument(
+        "motif census supports k in [2,5], got " + std::to_string(k));
+  }
   CompiledPlan plan;
   plan.kind = PlanKind::kMotifCensus;
   plan.pattern = Pattern(k);
@@ -378,9 +405,12 @@ CompiledPlan PatternCompiler::CompileMotifCensus(int k) const {
   return plan;
 }
 
-CompiledPlan PatternCompiler::CompileFpm(int max_edges,
-                                         uint64_t min_support) const {
-  GAMMA_CHECK(max_edges >= 1) << "max_edges must be >= 1";
+Result<CompiledPlan> PatternCompiler::CompileFpm(int max_edges,
+                                                 uint64_t min_support) const {
+  if (max_edges < 1) {
+    return Status::InvalidArgument("max_edges must be >= 1, got " +
+                                   std::to_string(max_edges));
+  }
   CompiledPlan plan;
   plan.kind = PlanKind::kFrequentMining;
   plan.max_edges = max_edges;
@@ -388,9 +418,17 @@ CompiledPlan PatternCompiler::CompileFpm(int max_edges,
   return plan;
 }
 
-CompiledPlan PatternCompiler::CompileEdgeJoin(
+Result<CompiledPlan> PatternCompiler::CompileEdgeJoin(
     const graph::Pattern& query) const {
-  GAMMA_CHECK(query.num_vertices() >= 2) << "edge join needs an edge";
+  if (query.num_vertices() < 2 || query.num_edges() < 1) {
+    return Status::InvalidArgument(
+        "edge join needs a pattern with at least one edge");
+  }
+  // ConnectedEdgeOrder aborts on disconnected queries; reject them first.
+  if (!query.ConnectedPrefix(query.DefaultMatchingOrder())) {
+    return Status::InvalidArgument(
+        "pattern graph is not connected: " + query.DebugString());
+  }
   CompiledPlan plan;
   plan.kind = PlanKind::kEdgeJoin;
   plan.pattern = query;

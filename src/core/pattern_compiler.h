@@ -157,35 +157,37 @@ struct CompileOptions {
 
 /// Pattern compiler: arbitrary (optionally labeled) pattern in, complete
 /// CompiledPlan out. Pure host-side analysis — compiling charges no
-/// simulated cycles.
+/// simulated cycles. Invalid inputs (empty/disconnected patterns, bad
+/// parameter ranges) return kInvalidArgument instead of aborting, so
+/// untrusted queries fail as structured errors.
 class PatternCompiler {
  public:
   explicit PatternCompiler(const graph::Graph* g) : g_(g) {}
 
   /// WOJ subgraph matching over `query` (<= Pattern::kMaxVertices
   /// vertices, connected, optional labels).
-  CompiledPlan CompileMatch(const graph::Pattern& query,
-                            const CompileOptions& options) const;
+  Result<CompiledPlan> CompileMatch(const graph::Pattern& query,
+                                    const CompileOptions& options) const;
 
   /// CompileMatch with a caller-supplied matching order (bypasses
   /// BuildWojPlan; the explicit-plan entry point of MatchWojWithPlan).
-  CompiledPlan CompileMatchWithPlan(const graph::Pattern& query,
-                                    const WojPlan& plan,
-                                    const CompileOptions& options) const;
+  Result<CompiledPlan> CompileMatchWithPlan(
+      const graph::Pattern& query, const WojPlan& plan,
+      const CompileOptions& options) const;
 
   /// k-clique counting: CompileMatch over Clique(k) with symmetry folding
   /// (reproduces the hand-written ascending-intersection spec).
-  CompiledPlan CompileKClique(int k, bool count_only_last) const;
+  Result<CompiledPlan> CompileKClique(int k, bool count_only_last) const;
 
   /// k-vertex motif census: union extensions + unlabeled-shape
   /// aggregation.
-  CompiledPlan CompileMotifCensus(int k) const;
+  Result<CompiledPlan> CompileMotifCensus(int k) const;
 
   /// Frequent pattern mining (Algorithm 2) parameters.
-  CompiledPlan CompileFpm(int max_edges, uint64_t min_support) const;
+  Result<CompiledPlan> CompileFpm(int max_edges, uint64_t min_support) const;
 
   /// Binary-join matching: one query edge per extension.
-  CompiledPlan CompileEdgeJoin(const graph::Pattern& query) const;
+  Result<CompiledPlan> CompileEdgeJoin(const graph::Pattern& query) const;
 
  private:
   const graph::Graph* g_;

@@ -1,0 +1,419 @@
+#include "core/plan_io.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json_reader.h"
+
+namespace gpm::core {
+namespace {
+
+using gpm::minijson::Value;
+using graph::Label;
+using graph::Pattern;
+
+Status Err(const std::string& m) {
+  return Status::InvalidArgument("gamma.plan.v1: " + m);
+}
+
+Status GetNumber(const Value& obj, const char* key, double* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || v->type != Value::kNumber) {
+    return Err(std::string("missing numeric field '") + key + "'");
+  }
+  *out = v->number;
+  return Status();
+}
+
+Status GetInt(const Value& obj, const char* key, double lo, double hi,
+              int64_t* out) {
+  double d = 0;
+  if (Status s = GetNumber(obj, key, &d); !s.ok()) return s;
+  if (d != std::floor(d) || d < lo || d > hi) {
+    return Err(std::string("field '") + key + "' must be an integer in [" +
+               std::to_string(static_cast<int64_t>(lo)) + ", " +
+               std::to_string(static_cast<int64_t>(hi)) + "]");
+  }
+  *out = static_cast<int64_t>(d);
+  return Status();
+}
+
+Status GetBool(const Value& obj, const char* key, bool* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || v->type != Value::kBool) {
+    return Err(std::string("missing boolean field '") + key + "'");
+  }
+  *out = v->boolean;
+  return Status();
+}
+
+Status GetString(const Value& obj, const char* key, std::string* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || v->type != Value::kString) {
+    return Err(std::string("missing string field '") + key + "'");
+  }
+  *out = v->str;
+  return Status();
+}
+
+Status GetArray(const Value& obj, const char* key, const Value** out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || v->type != Value::kArray) {
+    return Err(std::string("missing array field '") + key + "'");
+  }
+  *out = v;
+  return Status();
+}
+
+Status GetObject(const Value& obj, const char* key, const Value** out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr || v->type != Value::kObject) {
+    return Err(std::string("missing object field '") + key + "'");
+  }
+  *out = v;
+  return Status();
+}
+
+// Labels serialize as the string "*" (wildcard) or a plain non-negative
+// integer. The numeric value of the wildcard sentinel itself is rejected:
+// it would re-serialize as "*" and silently change the document.
+Status ParseLabel(const Value& v, const char* what, Label* out) {
+  if (v.type == Value::kString) {
+    if (v.str == "*") {
+      *out = Pattern::kAnyLabel;
+      return Status();
+    }
+    return Err(std::string(what) + ": label must be \"*\" or an integer");
+  }
+  if (v.type != Value::kNumber || v.number != std::floor(v.number) ||
+      v.number < 0 || v.number >= static_cast<double>(Pattern::kAnyLabel)) {
+    return Err(std::string(what) +
+               ": label must be \"*\" or an integer in [0, 2^32-2]");
+  }
+  *out = static_cast<Label>(v.number);
+  return Status();
+}
+
+Status ParseLabelField(const Value& obj, const char* key, Label* out) {
+  const Value* v = obj.Find(key);
+  if (v == nullptr) {
+    return Err(std::string("missing label field '") + key + "'");
+  }
+  return ParseLabel(*v, key, out);
+}
+
+Status ParseKind(const std::string& name, PlanKind* out) {
+  for (PlanKind k : {PlanKind::kSubgraphMatch, PlanKind::kMotifCensus,
+                     PlanKind::kFrequentMining, PlanKind::kEdgeJoin}) {
+    if (name == PlanKindName(k)) {
+      *out = k;
+      return Status();
+    }
+  }
+  return Err("unknown plan kind '" + name + "'");
+}
+
+Status ParsePatternObject(const Value& doc, Pattern* out) {
+  const Value* pat = nullptr;
+  if (Status s = GetObject(doc, "pattern", &pat); !s.ok()) return s;
+  int64_t n = 0;
+  if (Status s = GetInt(*pat, "num_vertices", 1, Pattern::kMaxVertices, &n);
+      !s.ok()) {
+    return s;
+  }
+  Pattern p(static_cast<int>(n));
+  const Value* edges = nullptr;
+  if (Status s = GetArray(*pat, "edges", &edges); !s.ok()) return s;
+  for (const Value& e : edges->array) {
+    if (e.type != Value::kArray || e.array.size() != 2 ||
+        e.array[0].type != Value::kNumber ||
+        e.array[1].type != Value::kNumber) {
+      return Err("pattern edges must be [a, b] integer pairs");
+    }
+    const double da = e.array[0].number, db = e.array[1].number;
+    if (da != std::floor(da) || db != std::floor(db) || da < 0 || db < 0 ||
+        da >= n || db >= n) {
+      return Err("pattern edge endpoint out of range [0, " +
+                 std::to_string(n - 1) + "]");
+    }
+    const int a = static_cast<int>(da), b = static_cast<int>(db);
+    if (a == b) return Err("pattern edge (" + std::to_string(a) + "," +
+                           std::to_string(b) + ") is a self-loop");
+    if (p.HasEdge(a, b)) {
+      return Err("duplicate pattern edge (" + std::to_string(a) + "," +
+                 std::to_string(b) + ")");
+    }
+    p.AddEdge(a, b);
+  }
+  const Value* labels = nullptr;
+  if (Status s = GetArray(*pat, "labels", &labels); !s.ok()) return s;
+  if (static_cast<int64_t>(labels->array.size()) != n) {
+    return Err("pattern labels must list one label per vertex");
+  }
+  for (std::size_t i = 0; i < labels->array.size(); ++i) {
+    Label l = Pattern::kAnyLabel;
+    if (Status s = ParseLabel(labels->array[i], "pattern labels", &l);
+        !s.ok()) {
+      return s;
+    }
+    p.SetLabel(static_cast<int>(i), l);
+  }
+  *out = p;
+  return Status();
+}
+
+Status ParseIntArray(const Value& arr, const char* what, double lo, double hi,
+                     std::vector<int>* out) {
+  for (const Value& v : arr.array) {
+    if (v.type != Value::kNumber || v.number != std::floor(v.number) ||
+        v.number < lo || v.number > hi) {
+      return Err(std::string(what) + " entries must be integers in [" +
+                 std::to_string(static_cast<int64_t>(lo)) + ", " +
+                 std::to_string(static_cast<int64_t>(hi)) + "]");
+    }
+    out->push_back(static_cast<int>(v.number));
+  }
+  return Status();
+}
+
+Status ParseStart(const Value& doc, CompiledPlan* plan) {
+  const Value* start = nullptr;
+  if (Status s = GetObject(doc, "start", &start); !s.ok()) return s;
+  std::string mode;
+  if (Status s = GetString(*start, "mode", &mode); !s.ok()) return s;
+  if (mode == StartModeName(StartMode::kVertexParallel)) {
+    plan->start = StartMode::kVertexParallel;
+  } else if (mode == StartModeName(StartMode::kEdgeParallel)) {
+    plan->start = StartMode::kEdgeParallel;
+  } else {
+    return Err("unknown start mode '" + mode + "'");
+  }
+  if (Status s = ParseLabelField(*start, "label", &plan->start_label);
+      !s.ok()) {
+    return s;
+  }
+  if (plan->start == StartMode::kEdgeParallel) {
+    if (Status s = ParseLabelField(*start, "second_label",
+                                   &plan->second_label);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (Status s = GetBool(*start, "ascending", &plan->start_ascending);
+      !s.ok()) {
+    return s;
+  }
+  const Value* rat = nullptr;
+  if (Status s = GetObject(*start, "rationale", &rat); !s.ok()) return s;
+  if (Status s = GetBool(*rat, "input_aware", &plan->input_aware); !s.ok()) {
+    return s;
+  }
+  if (Status s = GetNumber(*rat, "est_start_rows", &plan->est_start_rows);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = GetNumber(*rat, "est_pair_rows", &plan->est_pair_rows);
+      !s.ok()) {
+    return s;
+  }
+  // edge_parallel_profitable is derived from the two estimates on emit.
+  return GetBool(*rat, "edge_parallel_foldable",
+                 &plan->edge_parallel_foldable);
+}
+
+Status ParseLevels(const Value& doc, CompiledPlan* plan) {
+  const Value* levels = nullptr;
+  if (Status s = GetArray(doc, "levels", &levels); !s.ok()) return s;
+  for (std::size_t i = 0; i < levels->array.size(); ++i) {
+    const Value& lv = levels->array[i];
+    if (lv.type != Value::kObject) return Err("levels must be objects");
+    const int expected_depth = plan->first_depth() + static_cast<int>(i);
+    int64_t depth = 0;
+    if (Status s = GetInt(lv, "depth", 0, Pattern::kMaxVertices, &depth);
+        !s.ok()) {
+      return s;
+    }
+    if (depth != expected_depth) {
+      return Err("level " + std::to_string(i) + " has depth " +
+                 std::to_string(depth) + "; a " +
+                 StartModeName(plan->start) + " plan's level " +
+                 std::to_string(i) + " runs at depth " +
+                 std::to_string(expected_depth));
+    }
+    CompiledLevel level;
+    const Value* intersect = nullptr;
+    if (Status s = GetArray(lv, "intersect", &intersect); !s.ok()) return s;
+    if (Status s = ParseIntArray(*intersect, "intersect", 0,
+                                 Pattern::kMaxVertices - 1,
+                                 &level.intersect_positions);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = ParseLabelField(lv, "label", &level.candidate_label);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s =
+            GetBool(lv, "require_ascending", &level.require_ascending);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = GetBool(lv, "enforce_injective", &level.enforce_injective);
+        !s.ok()) {
+      return s;
+    }
+    const Value* restrictions = nullptr;
+    if (Status s = GetArray(lv, "restrictions", &restrictions); !s.ok()) {
+      return s;
+    }
+    for (const Value& rv : restrictions->array) {
+      if (rv.type != Value::kObject) {
+        return Err("restrictions must be objects");
+      }
+      int64_t smaller = 0, larger = 0;
+      if (Status s = GetInt(rv, "smaller_pos", 0, Pattern::kMaxVertices - 1,
+                            &smaller);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s =
+              GetInt(rv, "larger_pos", 0, Pattern::kMaxVertices - 1, &larger);
+          !s.ok()) {
+        return s;
+      }
+      level.restrictions.push_back({static_cast<int>(smaller),
+                                    static_cast<int>(larger)});
+    }
+    if (Status s = GetBool(lv, "count_only", &level.count_only); !s.ok()) {
+      return s;
+    }
+    std::string strategy;
+    if (Status s = GetString(lv, "write_strategy", &strategy); !s.ok()) {
+      return s;
+    }
+    if (strategy != "inherit") {
+      bool known = false;
+      for (WriteStrategy w :
+           {WriteStrategy::kNaiveTwoPass, WriteStrategy::kPreAlloc,
+            WriteStrategy::kDynamicAlloc}) {
+        if (strategy == WriteStrategyName(w)) {
+          level.write_strategy = w;
+          known = true;
+          break;
+        }
+      }
+      if (!known) return Err("unknown write strategy '" + strategy + "'");
+    }
+    const Value* pm = lv.Find("pre_merge");
+    if (pm == nullptr) return Err("missing field 'pre_merge'");
+    if (pm->type == Value::kBool) {
+      level.pre_merge = pm->boolean;
+    } else if (pm->type != Value::kString || pm->str != "inherit") {
+      return Err("pre_merge must be a boolean or \"inherit\"");
+    }
+    if (Status s = GetNumber(lv, "est_rows", &level.est_rows); !s.ok()) {
+      return s;
+    }
+    // The level rationale block is fully derived (intersect width,
+    // threshold constant, rule names); it is recomputed on emit.
+    plan->levels.push_back(std::move(level));
+  }
+  return Status();
+}
+
+}  // namespace
+
+Result<CompiledPlan> ParsePlanJson(const std::string& text) {
+  Value doc;
+  if (!minijson::Parse(text, &doc) || doc.type != Value::kObject) {
+    return Err("not a JSON object");
+  }
+  std::string schema;
+  if (Status s = GetString(doc, "schema", &schema); !s.ok()) return s;
+  if (schema != "gamma.plan.v1") {
+    return Err("unsupported schema '" + schema + "'");
+  }
+  CompiledPlan plan;
+  std::string kind;
+  if (Status s = GetString(doc, "kind", &kind); !s.ok()) return s;
+  if (Status s = ParseKind(kind, &plan.kind); !s.ok()) return s;
+
+  if (plan.kind == PlanKind::kSubgraphMatch ||
+      plan.kind == PlanKind::kEdgeJoin) {
+    if (Status s = ParsePatternObject(doc, &plan.pattern); !s.ok()) return s;
+  }
+  if (plan.kind == PlanKind::kSubgraphMatch ||
+      plan.kind == PlanKind::kMotifCensus) {
+    const Value* order = nullptr;
+    if (Status s = GetArray(doc, "order", &order); !s.ok()) return s;
+    if (Status s = ParseIntArray(*order, "order", 0,
+                                 Pattern::kMaxVertices - 1, &plan.order);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = ParseStart(doc, &plan); !s.ok()) return s;
+    if (Status s = ParseLevels(doc, &plan); !s.ok()) return s;
+  }
+  if (plan.kind == PlanKind::kEdgeJoin) {
+    const Value* edge_order = nullptr;
+    if (Status s = GetArray(doc, "edge_order", &edge_order); !s.ok()) {
+      return s;
+    }
+    for (const Value& e : edge_order->array) {
+      if (e.type != Value::kArray || e.array.size() != 2 ||
+          e.array[0].type != Value::kNumber ||
+          e.array[1].type != Value::kNumber ||
+          e.array[0].number != std::floor(e.array[0].number) ||
+          e.array[1].number != std::floor(e.array[1].number) ||
+          e.array[0].number < 0 || e.array[1].number < 0 ||
+          e.array[0].number >= Pattern::kMaxVertices ||
+          e.array[1].number >= Pattern::kMaxVertices) {
+        return Err("edge_order must be [a, b] integer pairs in range");
+      }
+      plan.edge_order.emplace_back(static_cast<int>(e.array[0].number),
+                                   static_cast<int>(e.array[1].number));
+    }
+  }
+  if (plan.kind == PlanKind::kFrequentMining) {
+    const Value* fpm = nullptr;
+    if (Status s = GetObject(doc, "fpm", &fpm); !s.ok()) return s;
+    int64_t max_edges = 0;
+    if (Status s = GetInt(*fpm, "max_edges", 0, 1 << 20, &max_edges);
+        !s.ok()) {
+      return s;
+    }
+    plan.max_edges = static_cast<int>(max_edges);
+    double min_support = 0;
+    if (Status s = GetNumber(*fpm, "min_support", &min_support); !s.ok()) {
+      return s;
+    }
+    if (min_support != std::floor(min_support) || min_support < 0) {
+      return Err("min_support must be a non-negative integer");
+    }
+    plan.min_support = static_cast<uint64_t>(min_support);
+  }
+  if (Status s = GetBool(doc, "symmetry_broken", &plan.symmetry_broken);
+      !s.ok()) {
+    return s;
+  }
+  int64_t automorphisms = 0;
+  if (Status s = GetInt(doc, "automorphisms", 0,
+                        static_cast<double>(
+                            std::numeric_limits<int64_t>::max()),
+                        &automorphisms);
+      !s.ok()) {
+    return s;
+  }
+  plan.automorphisms = static_cast<uint64_t>(automorphisms);
+  if (Status s = GetNumber(doc, "estimated_cost", &plan.estimated_cost);
+      !s.ok()) {
+    return s;
+  }
+  return plan;
+}
+
+}  // namespace gpm::core

@@ -1,0 +1,29 @@
+#ifndef GAMMA_CORE_PLAN_IO_H_
+#define GAMMA_CORE_PLAN_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/pattern_compiler.h"
+
+namespace gpm::core {
+
+/// Parses a `gamma.plan.v1` document (the format CompiledPlan::ToJson
+/// emits) back into a CompiledPlan. Strict on shape and types: unknown
+/// kinds or strategy names, malformed patterns (self-loops, duplicate
+/// edges, out-of-range vertex ids, bad labels), non-integer numeric
+/// fields, and level lists whose depths do not line up are rejected with
+/// kInvalidArgument. Derived rationale fields (edge_parallel_profitable,
+/// write_strategy_rule, ...) are recomputed on re-serialization, so a
+/// compiler-emitted document round-trips byte-identically:
+///
+///   ParsePlanJson(plan.ToJson()).value().ToJson() == plan.ToJson()
+///
+/// Parsing establishes shape, not soundness — load-path callers must still
+/// gate the result through the PlanVerifier (CompiledEngine does so
+/// unconditionally).
+Result<CompiledPlan> ParsePlanJson(const std::string& text);
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_PLAN_IO_H_

@@ -1,0 +1,143 @@
+#ifndef GAMMA_CORE_PLAN_VERIFIER_H_
+#define GAMMA_CORE_PLAN_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/extension.h"
+#include "core/pattern_compiler.h"
+#include "graph/csr.h"
+
+namespace gpm::core {
+
+/// Severity of one verifier finding. Errors refute the plan (the engine
+/// gate refuses to run it, `gamma_cli --verify-plan` exits 2); warnings
+/// are advisory (e.g. a prealloc reservation the runtime would reject with
+/// a clean kDeviceOutOfMemory anyway).
+enum class VerifySeverity : uint8_t { kWarning, kError };
+
+const char* VerifySeverityName(VerifySeverity severity);
+
+/// One violated (or advisory) proof obligation. `obligation` names the
+/// entry of the catalog in docs/VERIFIER.md; `depth` is the matching-order
+/// depth the finding anchors to, or -1 for plan-wide findings.
+struct VerifyFinding {
+  std::string obligation;
+  VerifySeverity severity = VerifySeverity::kError;
+  int depth = -1;
+  std::string message;
+};
+
+/// Per-level result of the bounded abstract interpretation (tier 3): row
+/// counts as intervals, column widths, and the MemoryPool reservation the
+/// level's resolved write strategy would make.
+struct VerifyAbstractLevel {
+  int depth = 0;
+  double rows_hi = 0;          ///< upper bound on rows after the level
+  int width = 0;               ///< embedding-table columns after the level
+  /// Worst-case results one input row can produce (what kPreAlloc must fit
+  /// in the pool) and the pool's capacity in table entries. Zero when the
+  /// level's strategy makes no up-front reservation.
+  uint64_t prealloc_entries = 0;
+  uint64_t pool_entries = 0;
+};
+
+/// Structured outcome of PlanVerifier::Verify: the findings plus per-tier
+/// pass/fail. `verified` is true iff no error-severity finding exists.
+struct VerifyReport {
+  std::string kind;
+  bool verified = false;
+  int obligations_checked = 0;
+  int errors = 0;
+  int warnings = 0;
+  bool structural_checked = false, structural_passed = true;
+  bool semantic_checked = false, semantic_passed = true;
+  bool resources_checked = false, resources_passed = true;
+  /// |Aut(pattern)| recomputed by the verifier's own enumerator (0 when
+  /// the plan kind carries no pattern).
+  uint64_t automorphisms = 0;
+  std::vector<VerifyAbstractLevel> abstract_levels;
+  std::vector<VerifyFinding> findings;
+
+  /// Serializes as a `gamma.verify.v1` JSON document.
+  std::string ToJson() const;
+  /// One line per finding, human-readable.
+  std::string ReportText() const;
+};
+
+/// Verifier configuration. The graph and engine options enable the
+/// resource tier (tier 3); without them verification is pattern-only
+/// (tiers 1 and 2), which is still sufficient to refute every
+/// count-changing plan corruption.
+struct VerifyOptions {
+  /// Data graph the plan will run against (max degree / vertex / edge
+  /// counts feed the abstract interpretation). nullptr skips tier 3.
+  const graph::Graph* graph = nullptr;
+  /// Engine options levels inherit when they do not pin a strategy
+  /// (pool sizing, inherited write strategy). nullptr resolves inherited
+  /// strategies as unknown and skips their reservation checks.
+  const ExtensionOptions* engine_extension = nullptr;
+};
+
+/// Static soundness verifier for CompiledPlan documents — a pure host-side
+/// analysis (no simulator, no execution, no simulated cycles) that
+/// re-derives every proof obligation from the pattern and refutes plans
+/// violating one:
+///
+///   tier 1 (structural): matching order is a permutation, intersect and
+///     restriction columns reference already-bound positions, every order
+///     prefix is connected, label filters match the pattern, strategy
+///     fields are in legal combinations;
+///   tier 2 (semantic): the pattern's automorphism group is recomputed by
+///     an independent backtracking enumerator (not the compiler's), and
+///     the plan's symmetry restrictions are proven sound (no embedding
+///     orbit eliminated) and complete (exactly one canonical
+///     representative per orbit), injectivity is enforced or implied, and
+///     the per-level intersections cover every query edge exactly once;
+///   tier 3 (resources): a bounded abstract interpretation over row-count
+///     intervals, column widths, and MemoryPool reservations flags plans
+///     whose prealloc strategy cannot fit the pool (advisory: the runtime
+///     fails those safely with kDeviceOutOfMemory).
+///
+/// See docs/VERIFIER.md for the obligation catalog and the soundness /
+/// completeness definitions.
+class PlanVerifier {
+ public:
+  explicit PlanVerifier(VerifyOptions options = {})
+      : options_(options) {}
+
+  VerifyReport Verify(const CompiledPlan& plan) const;
+
+ private:
+  VerifyOptions options_;
+};
+
+/// Witness that a plan passed verification. CompiledEngine's interpreter
+/// only accepts a VerifiedPlan, so an unverified (or refuted) plan cannot
+/// reach execution; construction goes through Make(), which runs the
+/// verifier and fails with kFailedPrecondition on refutation.
+class VerifiedPlan {
+ public:
+  static Result<VerifiedPlan> Make(CompiledPlan plan,
+                                   const VerifyOptions& options);
+
+  const CompiledPlan& plan() const { return plan_; }
+  const VerifyReport& report() const { return report_; }
+
+ private:
+  VerifiedPlan(CompiledPlan plan, VerifyReport report)
+      : plan_(std::move(plan)), report_(std::move(report)) {}
+  // Error-state Result<VerifiedPlan> storage only; unreachable otherwise.
+  VerifiedPlan() = default;
+  friend class gpm::Result<VerifiedPlan>;
+
+  CompiledPlan plan_;
+  VerifyReport report_;
+};
+
+}  // namespace gpm::core
+
+#endif  // GAMMA_CORE_PLAN_VERIFIER_H_

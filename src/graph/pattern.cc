@@ -1,7 +1,9 @@
 #include "graph/pattern.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <sstream>
 
@@ -238,9 +240,85 @@ Pattern Pattern::TailedTriangle() {
   return p;
 }
 
+namespace {
+
+// Shared hardening for the inline and file pattern forms: validates the
+// collected edge and label token lists and assembles the Pattern. Rejects
+// self-loops, duplicate edges, id gaps (an id below the maximum that
+// appears in no edge), and labels that are not plain non-negative
+// integers fitting below the kAnyLabel sentinel.
+Result<Pattern> BuildPattern(const std::vector<std::pair<int, int>>& edges,
+                             const std::vector<std::string>& labels) {
+  if (edges.empty()) {
+    return Status::InvalidArgument("pattern needs at least one edge");
+  }
+  int max_vertex = -1;
+  uint8_t seen_vertices = 0;
+  uint64_t seen_edges = 0;
+  for (auto [a, b] : edges) {
+    if (a < 0 || b < 0 || a >= Pattern::kMaxVertices ||
+        b >= Pattern::kMaxVertices) {
+      return Status::InvalidArgument(
+          "pattern vertex out of range in edge (" + std::to_string(a) +
+          "," + std::to_string(b) + "); ids must be 0.." +
+          std::to_string(Pattern::kMaxVertices - 1));
+    }
+    if (a == b) {
+      return Status::InvalidArgument("pattern has a self-loop at vertex " +
+                                     std::to_string(a));
+    }
+    const int lo = std::min(a, b), hi = std::max(a, b);
+    const uint64_t bit = 1ull << (lo * Pattern::kMaxVertices + hi);
+    if (seen_edges & bit) {
+      return Status::InvalidArgument("duplicate pattern edge (" +
+                                     std::to_string(lo) + "," +
+                                     std::to_string(hi) + ")");
+    }
+    seen_edges |= bit;
+    seen_vertices |= static_cast<uint8_t>((1u << a) | (1u << b));
+    max_vertex = std::max({max_vertex, a, b});
+  }
+  for (int v = 0; v < max_vertex; ++v) {
+    if (!((seen_vertices >> v) & 1u)) {
+      return Status::InvalidArgument(
+          "pattern vertex ids are not contiguous: vertex " +
+          std::to_string(v) + " appears in no edge but vertex " +
+          std::to_string(max_vertex) + " does");
+    }
+  }
+  if (!labels.empty() &&
+      static_cast<int>(labels.size()) != max_vertex + 1) {
+    return Status::InvalidArgument("expected one label per vertex (" +
+                                   std::to_string(max_vertex + 1) +
+                                   "), got " +
+                                   std::to_string(labels.size()));
+  }
+
+  Pattern p(max_vertex + 1);
+  for (auto [a, b] : edges) p.AddEdge(a, b);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::string& token = labels[i];
+    if (token == "*") continue;  // wildcard is the default
+    char* end = nullptr;
+    errno = 0;
+    const long long l = std::strtoll(token.c_str(), &end, 10);
+    if (token.empty() || *end != '\0' || errno == ERANGE || l < 0 ||
+        l >= static_cast<long long>(Pattern::kAnyLabel)) {
+      return Status::InvalidArgument(
+          "bad label '" + token +
+          "' (want '*' or an integer in [0, 4294967294])");
+    }
+    p.SetLabel(static_cast<int>(i), static_cast<Label>(l));
+  }
+  return p;
+}
+
+}  // namespace
+
 Result<Pattern> ParsePattern(const std::string& text) {
   std::string edges_part = text;
   std::string labels_part;
+  bool has_labels = false;
   if (auto semi = text.find(';'); semi != std::string::npos) {
     edges_part = text.substr(0, semi);
     labels_part = text.substr(semi + 1);
@@ -250,16 +328,16 @@ Result<Pattern> ParsePattern(const std::string& text) {
                                      labels_part + "'");
     }
     labels_part = labels_part.substr(prefix.size());
+    has_labels = true;
   }
 
   // Parse edges "a-b,c-d,...".
   std::vector<std::pair<int, int>> edges;
-  int max_vertex = -1;
   std::istringstream es(edges_part);
   std::string token;
   while (std::getline(es, token, ',')) {
     auto dash = token.find('-');
-    if (dash == std::string::npos) {
+    if (dash == std::string::npos || dash == 0) {
       return Status::InvalidArgument("bad edge token '" + token + "'");
     }
     char* end = nullptr;
@@ -268,48 +346,83 @@ Result<Pattern> ParsePattern(const std::string& text) {
       return Status::InvalidArgument("bad vertex in '" + token + "'");
     }
     long b = std::strtol(token.c_str() + dash + 1, &end, 10);
-    if (*end != '\0') {
+    if (end == token.c_str() + dash + 1 || *end != '\0') {
       return Status::InvalidArgument("bad vertex in '" + token + "'");
     }
-    if (a < 0 || b < 0 || a >= Pattern::kMaxVertices ||
-        b >= Pattern::kMaxVertices || a == b) {
+    if (a < 0 || b < 0 || a > Pattern::kMaxVertices ||
+        b > Pattern::kMaxVertices) {
       return Status::InvalidArgument("vertex out of range in '" + token +
                                      "'");
     }
     edges.emplace_back(static_cast<int>(a), static_cast<int>(b));
-    max_vertex = std::max(max_vertex, static_cast<int>(std::max(a, b)));
-  }
-  if (edges.empty()) {
-    return Status::InvalidArgument("pattern needs at least one edge");
   }
 
-  Pattern p(max_vertex + 1);
-  for (auto [a, b] : edges) p.AddEdge(a, b);
-
-  if (!labels_part.empty()) {
+  std::vector<std::string> labels;
+  if (has_labels) {
     std::istringstream ls(labels_part);
-    int i = 0;
-    while (std::getline(ls, token, ',')) {
-      if (i > max_vertex) {
-        return Status::InvalidArgument("more labels than vertices");
-      }
-      if (token == "*") {
-        p.SetLabel(i, Pattern::kAnyLabel);
-      } else {
-        char* end = nullptr;
-        long l = std::strtol(token.c_str(), &end, 10);
-        if (*end != '\0' || l < 0) {
-          return Status::InvalidArgument("bad label '" + token + "'");
-        }
-        p.SetLabel(i, static_cast<Label>(l));
-      }
-      ++i;
-    }
-    if (i != max_vertex + 1) {
-      return Status::InvalidArgument("expected one label per vertex");
+    while (std::getline(ls, token, ',')) labels.push_back(token);
+    if (labels.empty()) {
+      return Status::InvalidArgument("';labels=' lists no labels");
     }
   }
-  return p;
+  return BuildPattern(edges, labels);
+}
+
+Result<Pattern> ParsePatternFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::string> labels;
+  bool has_labels = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;
+    if (first == "labels") {
+      if (has_labels) {
+        return Status::InvalidArgument(
+            "pattern file has more than one labels line");
+      }
+      has_labels = true;
+      std::string l;
+      while (tokens >> l) labels.push_back(l);
+      if (labels.empty()) {
+        return Status::InvalidArgument("labels line lists no labels");
+      }
+      continue;
+    }
+    // Strictly-integer endpoints: atoi-style silent truncation would turn
+    // a typo like '1O' into vertex 1.
+    auto parse_vertex = [](const std::string& tok, int* out) {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (tok.empty() || *end != '\0' || errno == ERANGE || v < 0 ||
+          v > Pattern::kMaxVertices) {
+        return false;
+      }
+      *out = static_cast<int>(v);
+      return true;
+    };
+    int u = 0, v = 0;
+    std::string second, extra;
+    if (!(tokens >> second)) {
+      return Status::InvalidArgument("bad pattern line: " + line);
+    }
+    if (tokens >> extra) {
+      return Status::InvalidArgument("trailing tokens on pattern line: " +
+                                     line);
+    }
+    if (!parse_vertex(first, &u) || !parse_vertex(second, &v)) {
+      return Status::InvalidArgument("bad pattern edge: " + line);
+    }
+    edges.emplace_back(u, v);
+  }
+  return BuildPattern(edges, labels);
 }
 
 Pattern Pattern::SmQuery(int which, uint32_t num_labels) {

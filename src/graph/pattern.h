@@ -100,8 +100,18 @@ class Pattern {
 /// Parses a pattern from a compact text form: an edge list
 /// "0-1,1-2,2-0", optionally followed by ";labels=a,b,c" with one label
 /// per vertex ("*" = wildcard). Vertex ids must be 0..kMaxVertices-1 and
-/// form a contiguous range. Example: "0-1,1-2,2-0;labels=0,1,*".
+/// form a contiguous range (every id below the maximum must appear in
+/// some edge). Self-loops, duplicate edges, non-integer or out-of-range
+/// labels (a label must fit in 32 bits and may not collide with the
+/// kAnyLabel sentinel), and trailing garbage are rejected with
+/// kInvalidArgument. Example: "0-1,1-2,2-0;labels=0,1,*".
 Result<Pattern> ParsePattern(const std::string& text);
+
+/// Parses a pattern file: '#' comments, one 'u v' edge per line over
+/// vertices 0..k-1, and an optional 'labels l0 l1 ...' line ('*' =
+/// wildcard, one label per vertex). Enforces the same hardening rules as
+/// ParsePattern (no self-loops, duplicates, gaps, or malformed numbers).
+Result<Pattern> ParsePatternFile(const std::string& path);
 
 }  // namespace gpm::graph
 

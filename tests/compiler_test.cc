@@ -53,7 +53,7 @@ TEST(CompilerParityTest, CliqueCountsMatchOracle) {
   graph::Graph g = RandomLabeled(11, 60, 500);
   core::PatternCompiler compiler(&g);
   for (int k : {3, 4, 5}) {
-    core::CompiledPlan plan = compiler.CompileKClique(k, true);
+    core::CompiledPlan plan = compiler.CompileKClique(k, true).value();
     // The clique preset must fold every restriction into the ascending
     // intersection — no post-filters survive.
     for (const core::CompiledLevel& level : plan.levels) {
@@ -118,7 +118,7 @@ TEST(CompilerParityTest, MotifCensusMatchesInducedOracle) {
   core::PatternCompiler compiler(&g);
   for (int k : {3, 4}) {
     core::CompiledRunResult run =
-        RunPlan(&g, compiler.CompileMotifCensus(k));
+        RunPlan(&g, compiler.CompileMotifCensus(k).value());
     // 2 connected 3-vertex shapes, 6 connected 4-vertex shapes.
     EXPECT_EQ(run.motifs.size(), k == 3 ? 2u : 6u);
     std::map<std::vector<int>, uint64_t> oracle = InducedCensus(g, k);
@@ -132,7 +132,7 @@ TEST(CompilerParityTest, MotifCensusMatchesInducedOracle) {
 TEST(CompilerParityTest, FpmMatchesEmbeddingCentricReference) {
   graph::Graph g = RandomLabeled(9, 40, 120);
   core::PatternCompiler compiler(&g);
-  core::CompiledRunResult run = RunPlan(&g, compiler.CompileFpm(3, 3));
+  core::CompiledRunResult run = RunPlan(&g, compiler.CompileFpm(3, 3).value());
   auto ref = baselines::CpuFpmEmbeddingCentric(g, 3, 3,
                                                baselines::CpuModel{});
   EXPECT_EQ(run.patterns.size(), ref.patterns.size());
@@ -157,7 +157,7 @@ TEST(CompilerParityTest, SubgraphMatchQuerySet) {
   };
   for (const graph::Pattern& q : queries) {
     core::CompiledRunResult run =
-        RunPlan(&g, compiler.CompileMatch(q, {}));
+        RunPlan(&g, compiler.CompileMatch(q, {}).value());
     EXPECT_EQ(run.embeddings, graph::CountEmbeddings(g, q))
         << q.DebugString();
     EXPECT_EQ(run.instances, graph::CountInstances(g, q))
@@ -171,7 +171,7 @@ TEST(CompilerParityTest, EdgeJoinMatchesOracle) {
   for (const graph::Pattern& q :
        {graph::Pattern::Triangle(), graph::Pattern::Path(3)}) {
     core::CompiledRunResult run =
-        RunPlan(&g, compiler.CompileEdgeJoin(q));
+        RunPlan(&g, compiler.CompileEdgeJoin(q).value());
     EXPECT_EQ(run.instances, graph::CountInstances(g, q))
         << q.DebugString();
   }
@@ -186,9 +186,9 @@ TEST(CompilerParityTest, EdgeJoinMatchesOracle) {
 void CheckSymmetryCompleteness(graph::Graph* g, const graph::Pattern& q,
                                int want_automorphisms) {
   core::PatternCompiler compiler(g);
-  core::CompiledPlan plain = compiler.CompileMatch(q, {});
+  core::CompiledPlan plain = compiler.CompileMatch(q, {}).value();
   core::CompiledPlan sym =
-      compiler.CompileMatch(q, {.break_symmetry = true});
+      compiler.CompileMatch(q, {.break_symmetry = true}).value();
   EXPECT_EQ(sym.automorphisms,
             static_cast<uint64_t>(want_automorphisms))
       << q.DebugString();
@@ -244,12 +244,14 @@ TEST(InputAwareTest, EdgeParallelStartPreservesCounts) {
   graph::Graph g = graph::ErdosRenyi(60, 600, &rng);
   g.EnsureEdgeIndex();
   core::PatternCompiler compiler(&g);
-  core::CompiledPlan plan = compiler.CompileMatch(
-      graph::Pattern::Triangle(),
-      {.plan_strategy = core::PlanStrategy::kGreedyCardinality,
-       .break_symmetry = true,
-       .fold_ascending = true,
-       .input_aware = true});
+  core::CompiledPlan plan =
+      compiler
+          .CompileMatch(graph::Pattern::Triangle(),
+                        {.plan_strategy = core::PlanStrategy::kGreedyCardinality,
+                         .break_symmetry = true,
+                         .fold_ascending = true,
+                         .input_aware = true})
+          .value();
   EXPECT_EQ(plan.start, core::StartMode::kEdgeParallel);
   EXPECT_EQ(plan.first_depth(), 2);
   EXPECT_EQ(plan.levels.size(), 1u);
@@ -271,7 +273,7 @@ TEST(InputAwareTest, AutoPlansMatchOracleOnQuerySet) {
        {graph::Pattern::Diamond(), graph::Pattern::Cycle(4),
         graph::Pattern::SmQuery(1, g.num_labels()),
         graph::Pattern::SmQuery(3, g.num_labels())}) {
-    core::CompiledRunResult run = RunPlan(&g, compiler.CompileMatch(q, aware));
+    core::CompiledRunResult run = RunPlan(&g, compiler.CompileMatch(q, aware).value());
     EXPECT_EQ(run.instances, graph::CountInstances(g, q))
         << q.DebugString();
   }
@@ -280,12 +282,14 @@ TEST(InputAwareTest, AutoPlansMatchOracleOnQuerySet) {
 TEST(PlanJsonTest, EmitsWellFormedPlanDocument) {
   graph::Graph g = RandomLabeled(21, 60, 300);
   core::PatternCompiler compiler(&g);
-  core::CompiledPlan plan = compiler.CompileMatch(
-      graph::Pattern::Diamond(),
-      {.plan_strategy = core::PlanStrategy::kGreedyCardinality,
-       .break_symmetry = true,
-       .fold_ascending = true,
-       .input_aware = true});
+  core::CompiledPlan plan =
+      compiler
+          .CompileMatch(graph::Pattern::Diamond(),
+                        {.plan_strategy = core::PlanStrategy::kGreedyCardinality,
+                         .break_symmetry = true,
+                         .fold_ascending = true,
+                         .input_aware = true})
+          .value();
   std::string json = plan.ToJson();
   minijson::Value doc;
   ASSERT_TRUE(minijson::Parser(json).Parse(&doc)) << json;

@@ -1,0 +1,372 @@
+// fuzz_patterns — differential fuzzer for the pattern compiler and the
+// static plan verifier.
+//
+// Two loops over seeded random connected patterns:
+//
+//   1. Clean loop: compile each pattern (randomized compiler options),
+//      require the verifier to accept the plan, round-trip it through the
+//      gamma.plan.v1 serializer byte-identically, execute it on the
+//      simulated device, and cross-check embedding/instance counts against
+//      the CPU backtracking oracle (graph::CountEmbeddings /
+//      CountInstances).
+//   2. Mutant loop: corrupt each compiled plan (drop a symmetry
+//      restriction, swap matching-order entries, flip strategy and
+//      restriction bits, perturb the automorphism count) and feed the
+//      mutant to the verifier. A refuted mutant is never executed (it
+//      could index out of bounds); an accepted mutant MUST still match
+//      the oracle — that contrapositive is the fuzzer's core assertion:
+//      any count-changing corruption has to be statically refuted.
+//
+// Exit code 0 when every assertion holds, 1 otherwise. --report writes a
+// JSON findings document for CI artifact upload.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/compiled_engine.h"
+#include "core/gamma.h"
+#include "core/pattern_compiler.h"
+#include "core/plan_io.h"
+#include "core/plan_verifier.h"
+#include "graph/generators.h"
+#include "graph/isomorphism.h"
+#include "graph/pattern.h"
+#include "gpusim/device.h"
+
+namespace {
+
+using namespace gpm;
+
+struct FuzzOptions {
+  int patterns = 200;
+  uint64_t seed = 1;
+  int max_vertices = 5;
+  int mutants_per_plan = 3;
+  std::string report_path;
+  bool verbose = false;
+};
+
+struct Failure {
+  std::string kind;     // which assertion broke
+  std::string pattern;  // Pattern::DebugString of the subject
+  std::string detail;
+};
+
+std::vector<Failure> g_failures;
+
+void Fail(const std::string& kind, const graph::Pattern& p,
+          const std::string& detail) {
+  g_failures.push_back({kind, p.DebugString(), detail});
+  std::fprintf(stderr, "FAIL [%s] %s: %s\n", kind.c_str(),
+               p.DebugString().c_str(), detail.c_str());
+}
+
+// Random connected pattern: a random spanning tree (vertex i attaches to
+// a uniform earlier vertex) plus independent extra edges, optionally
+// labeled with wildcards mixed in.
+graph::Pattern RandomPattern(Rng* rng, int max_vertices,
+                             uint32_t num_labels) {
+  const int n = 2 + static_cast<int>(rng->NextBounded(
+                        static_cast<uint64_t>(max_vertices - 1)));
+  graph::Pattern p(n);
+  for (int i = 1; i < n; ++i) {
+    p.AddEdge(i, static_cast<int>(rng->NextBounded(i)));
+  }
+  const double extra = 0.2 + 0.4 * rng->NextDouble();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!p.HasEdge(i, j) && rng->NextBool(extra)) p.AddEdge(i, j);
+    }
+  }
+  if (rng->NextBool(0.4)) {
+    for (int i = 0; i < n; ++i) {
+      if (rng->NextBool(0.5)) {
+        p.SetLabel(i, static_cast<graph::Label>(
+                          rng->NextBounded(num_labels)));
+      }
+    }
+  }
+  return p;
+}
+
+core::CompileOptions RandomCompileOptions(Rng* rng) {
+  core::CompileOptions copts;
+  copts.break_symmetry = rng->NextBool(0.5);
+  if (copts.break_symmetry) copts.fold_ascending = rng->NextBool(0.5);
+  copts.input_aware = rng->NextBool(0.3);
+  copts.count_only_last = rng->NextBool(0.3);
+  if (copts.input_aware) {
+    copts.plan_strategy = core::PlanStrategy::kGreedyCardinality;
+  }
+  return copts;
+}
+
+// One corruption from the mutation catalog, applied in place. Returns a
+// short description, or "" when the picked mutation does not apply to
+// this plan (caller retries with the next roll).
+std::string Mutate(core::CompiledPlan* plan, Rng* rng) {
+  switch (rng->NextBounded(8)) {
+    case 0: {  // swap two matching-order entries
+      if (plan->order.size() < 2) return "";
+      const std::size_t a = rng->NextBounded(plan->order.size());
+      const std::size_t b = rng->NextBounded(plan->order.size());
+      if (a == b) return "";
+      std::swap(plan->order[a], plan->order[b]);
+      return "swap order[" + std::to_string(a) + "],order[" +
+             std::to_string(b) + "]";
+    }
+    case 1: {  // drop one symmetry restriction
+      for (std::size_t i = 0; i < plan->levels.size(); ++i) {
+        if (!plan->levels[i].restrictions.empty()) {
+          plan->levels[i].restrictions.pop_back();
+          return "drop restriction at level " + std::to_string(i);
+        }
+      }
+      return "";
+    }
+    case 2: {  // flip the folded (0,1) edge-parallel restriction
+      if (plan->start != core::StartMode::kEdgeParallel) return "";
+      plan->start_ascending = !plan->start_ascending;
+      return "flip start_ascending";
+    }
+    case 3: {  // flip one level's folded ascending chain
+      if (plan->levels.empty()) return "";
+      const std::size_t i = rng->NextBounded(plan->levels.size());
+      plan->levels[i].require_ascending =
+          !plan->levels[i].require_ascending;
+      return "flip require_ascending at level " + std::to_string(i);
+    }
+    case 4: {  // drop injectivity enforcement
+      for (std::size_t i = 0; i < plan->levels.size(); ++i) {
+        if (plan->levels[i].enforce_injective) {
+          plan->levels[i].enforce_injective = false;
+          return "clear enforce_injective at level " + std::to_string(i);
+        }
+      }
+      return "";
+    }
+    case 5: {  // drop one intersection column
+      if (plan->levels.empty()) return "";
+      const std::size_t i = rng->NextBounded(plan->levels.size());
+      if (plan->levels[i].intersect_positions.empty()) return "";
+      plan->levels[i].intersect_positions.pop_back();
+      return "drop intersect column at level " + std::to_string(i);
+    }
+    case 6: {  // lie about the automorphism count
+      plan->automorphisms += 1 + rng->NextBounded(3);
+      return "perturb automorphisms";
+    }
+    default: {  // claim symmetry was (not) broken
+      plan->symmetry_broken = !plan->symmetry_broken;
+      return "flip symmetry_broken";
+    }
+  }
+}
+
+struct OracleCounts {
+  uint64_t embeddings = 0;
+  uint64_t instances = 0;
+};
+
+bool CountsMatch(const core::CompiledRunResult& run,
+                 const core::CompiledPlan& plan, const OracleCounts& oracle,
+                 std::string* why) {
+  const uint64_t want_embeddings =
+      plan.symmetry_broken ? oracle.instances : oracle.embeddings;
+  if (run.embeddings != want_embeddings) {
+    *why = "embeddings " + std::to_string(run.embeddings) + " != oracle " +
+           std::to_string(want_embeddings);
+    return false;
+  }
+  if (run.instances != oracle.instances) {
+    *why = "instances " + std::to_string(run.instances) + " != oracle " +
+           std::to_string(oracle.instances);
+    return false;
+  }
+  return true;
+}
+
+// Executes `plan` on a fresh simulated device. The engine's Run gate
+// re-verifies; by construction callers only pass verifier-accepted plans.
+Result<core::CompiledRunResult> Execute(graph::Graph* g,
+                                        const core::CompiledPlan& plan) {
+  gpusim::SimParams params;
+  params.device_memory_bytes = 16 << 20;
+  params.um_device_buffer_bytes = 2 << 20;
+  gpusim::Device device(params);
+  core::GammaEngine engine(&device, g, {});
+  if (Status st = engine.Prepare(); !st.ok()) return st;
+  return core::CompiledEngine(&engine).Run(plan);
+}
+
+void WriteReport(const std::string& path, const FuzzOptions& o,
+                 int patterns_run, int mutants_refuted,
+                 int mutants_benign) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << "{\n \"schema\": \"gamma.fuzz.v1\",\n";
+  out << " \"seed\": " << o.seed << ",\n";
+  out << " \"patterns\": " << patterns_run << ",\n";
+  out << " \"mutants_refuted\": " << mutants_refuted << ",\n";
+  out << " \"mutants_benign\": " << mutants_benign << ",\n";
+  out << " \"failures\": [";
+  for (std::size_t i = 0; i < g_failures.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n  {\"kind\": \"" << g_failures[i].kind
+        << "\", \"pattern\": \"" << g_failures[i].pattern
+        << "\", \"detail\": \"" << g_failures[i].detail << "\"}";
+  }
+  if (!g_failures.empty()) out << "\n ";
+  out << "]\n}\n";
+  std::printf("fuzz report written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions o;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--patterns") {
+      o.patterns = std::atoi(next());
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--max-vertices") {
+      o.max_vertices = std::atoi(next());
+    } else if (a == "--mutants") {
+      o.mutants_per_plan = std::atoi(next());
+    } else if (a == "--report") {
+      o.report_path = next();
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_patterns [--patterns N] [--seed S] "
+                   "[--max-vertices K] [--mutants M] [--report F] "
+                   "[--verbose]\n");
+      return 1;
+    }
+  }
+  if (o.max_vertices < 2 ||
+      o.max_vertices > graph::Pattern::kMaxVertices) {
+    std::fprintf(stderr, "--max-vertices wants 2..%d\n",
+                 graph::Pattern::kMaxVertices);
+    return 1;
+  }
+
+  // Small fixed data graph: big enough for nonzero counts, small enough
+  // that the O(V * d^k) backtracking oracle stays fast at k = 5.
+  Rng graph_rng(0xfa115eedull ^ o.seed);
+  graph::Graph g = graph::ErdosRenyi(128, 512, &graph_rng);
+  graph::AssignLabelsZipf(&g, 4, 0.4, &graph_rng);
+  g.EnsureEdgeIndex();
+  std::printf("fuzz graph: %s\n", g.DebugString().c_str());
+
+  core::PatternCompiler compiler(&g);
+  core::ExtensionOptions default_extension;
+  core::VerifyOptions vopts;
+  vopts.graph = &g;
+  vopts.engine_extension = &default_extension;
+  core::PlanVerifier verifier(vopts);
+
+  Rng rng(o.seed);
+  int mutants_refuted = 0, mutants_benign = 0;
+  for (int iter = 0; iter < o.patterns; ++iter) {
+    const graph::Pattern pattern =
+        RandomPattern(&rng, o.max_vertices, g.num_labels());
+    const core::CompileOptions copts = RandomCompileOptions(&rng);
+    auto compiled = compiler.CompileMatch(pattern, copts);
+    if (!compiled.ok()) {
+      Fail("compile", pattern, compiled.status().ToString());
+      continue;
+    }
+    const core::CompiledPlan& plan = compiled.value();
+    if (o.verbose) {
+      std::printf("#%d %s -> %s\n", iter, pattern.DebugString().c_str(),
+                  plan.DebugString().c_str());
+    }
+
+    // Every compiler-emitted plan must discharge every obligation.
+    const core::VerifyReport report = verifier.Verify(plan);
+    if (!report.verified) {
+      Fail("verify-clean", pattern, report.ReportText());
+      continue;
+    }
+
+    // gamma.plan.v1 round trip must be byte-identical.
+    const std::string doc = plan.ToJson();
+    auto reparsed = core::ParsePlanJson(doc);
+    if (!reparsed.ok()) {
+      Fail("roundtrip-parse", pattern, reparsed.status().ToString());
+    } else if (reparsed.value().ToJson() != doc) {
+      Fail("roundtrip-bytes", pattern,
+           "re-serialized plan differs from original document");
+    }
+
+    // Differential check against the CPU backtracking oracle.
+    OracleCounts oracle;
+    oracle.embeddings = graph::CountEmbeddings(g, pattern);
+    oracle.instances = graph::CountInstances(g, pattern);
+    auto run = Execute(&g, plan);
+    if (!run.ok()) {
+      Fail("run-clean", pattern, run.status().ToString());
+      continue;
+    }
+    std::string why;
+    if (!CountsMatch(run.value(), plan, oracle, &why)) {
+      Fail("oracle-clean", pattern, why);
+      continue;
+    }
+
+    // Mutant loop: corrupted plans must be refuted, or — if the
+    // corruption happens to be semantically harmless — still match the
+    // oracle when executed.
+    for (int m = 0; m < o.mutants_per_plan; ++m) {
+      core::CompiledPlan mutant = plan;
+      std::string what;
+      for (int tries = 0; tries < 8 && what.empty(); ++tries) {
+        what = Mutate(&mutant, &rng);
+      }
+      if (what.empty()) continue;
+      const core::VerifyReport mreport = verifier.Verify(mutant);
+      if (!mreport.verified) {
+        ++mutants_refuted;  // refuted mutants are never executed
+        continue;
+      }
+      auto mrun = Execute(&g, mutant);
+      if (!mrun.ok()) {
+        Fail("run-mutant", pattern,
+             what + ": accepted mutant failed to run: " +
+                 mrun.status().ToString());
+        continue;
+      }
+      if (!CountsMatch(mrun.value(), mutant, oracle, &why)) {
+        Fail("oracle-mutant", pattern,
+             what + ": verifier accepted a count-changing mutant: " + why);
+        continue;
+      }
+      ++mutants_benign;
+    }
+  }
+
+  std::printf(
+      "fuzz: %d patterns, %d mutants refuted, %d benign mutants "
+      "matched oracle, %zu failure(s)\n",
+      o.patterns, mutants_refuted, mutants_benign, g_failures.size());
+  if (!o.report_path.empty()) {
+    WriteReport(o.report_path, o, o.patterns, mutants_refuted,
+                mutants_benign);
+  }
+  return g_failures.empty() ? 0 : 1;
+}

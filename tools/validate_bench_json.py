@@ -9,18 +9,23 @@ dispatching on the document's `schema` field:
   gamma.critpath.v1    gamma_cli --critpath-out bottleneck analysis
   gamma.plan.v1        gamma_cli --plan-out compiled pattern plan
   gamma.planprof.v1    gamma_cli --planprof-out plan-execution audit
+  gamma.verify.v1      gamma_cli --verify-plan=json obligation report
+  gamma.fuzz.v1        tools/fuzz_patterns --report findings summary
 
 Exits non-zero (with a message per problem) when the document deviates
 from its schema, so CI fails loudly instead of archiving a broken
 artifact. With --expect-clean, a structurally valid gamma.check.v1
 report that contains findings also fails — that is how CI turns "the
-sanitizer saw something" into a red build. Stdlib only; also usable
-locally:
+sanitizer saw something" into a red build. Likewise --expect-verified
+fails a structurally valid gamma.verify.v1 report whose plan was
+refuted. Stdlib only; also usable locally:
 
     ./build/bench/bench_fig10_memory --json=out.json
     python3 tools/validate_bench_json.py out.json
     ./build/examples/gamma_cli --check --check-out check.json ...
     python3 tools/validate_bench_json.py --expect-clean check.json
+    ./build/examples/gamma_cli --verify-plan=json plan.json > verify.json
+    python3 tools/validate_bench_json.py --expect-verified verify.json
 """
 
 import json
@@ -1095,6 +1100,152 @@ def validate_plan(doc):
     return errors
 
 
+VERIFY_OBLIGATIONS = (
+    # Tier 1: structural well-formedness.
+    "order-permutation", "pattern-connected", "start-edge",
+    "label-consistent", "level-count", "intersect-bounds",
+    "prefix-connected", "restriction-bounds", "count-only-last",
+    "pre-merge-width", "motif-shape", "fpm-params", "edge-order",
+    # Tier 2: semantic soundness.
+    "automorphism-count", "edge-coverage", "restriction-sound",
+    "restriction-complete", "restriction-unclaimed", "injective-required",
+    # Tier 3: abstract resource interpretation (advisory).
+    "prealloc-overflow",
+)
+
+VERIFY_SEVERITIES = ("error", "warning")
+
+VERIFY_TIERS = ("structural", "semantic", "resources")
+
+
+def validate_verify(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("schema") != "gamma.verify.v1":
+        fail(errors, f"schema is {doc.get('schema')!r}, want "
+             f"'gamma.verify.v1'")
+    if doc.get("kind") not in PLAN_KINDS:
+        fail(errors, f"unknown kind {doc.get('kind')!r} "
+             f"(know: {list(PLAN_KINDS)})")
+    check_typed_keys(errors, doc,
+                     {"verified": bool, "obligations_checked": int,
+                      "errors": int, "warnings": int,
+                      "automorphisms": int}, "document")
+    tiers = doc.get("tiers")
+    if not isinstance(tiers, dict):
+        fail(errors, "'tiers' is missing or not an object")
+    else:
+        for name in VERIFY_TIERS:
+            tier = tiers.get(name)
+            if not isinstance(tier, dict):
+                fail(errors, f"tiers.{name} is missing or not an object")
+                continue
+            check_typed_keys(errors, tier, {"checked": bool, "passed": bool},
+                             f"tiers.{name}")
+            if tier.get("checked") is False and tier.get("passed") is True:
+                fail(errors, f"tiers.{name} passed without being checked")
+        structural = tiers.get("structural")
+        if isinstance(structural, dict) \
+                and structural.get("passed") is False:
+            # A structural refutation is final: the later tiers must not
+            # have run against an ill-formed plan.
+            for name in ("semantic", "resources"):
+                tier = tiers.get(name)
+                if isinstance(tier, dict) and tier.get("checked") is True:
+                    fail(errors, f"tiers.{name} ran despite a structural "
+                         f"refutation")
+    abstract = doc.get("abstract")
+    if not isinstance(abstract, list):
+        fail(errors, "'abstract' is missing or not an array")
+    else:
+        for i, level in enumerate(abstract):
+            ctx = f"abstract[{i}]"
+            if not isinstance(level, dict):
+                fail(errors, f"{ctx} is not an object")
+                continue
+            check_typed_keys(errors, level,
+                             {"depth": int, "rows_hi": (int, float),
+                              "width": int, "prealloc_entries": (int, float),
+                              "pool_entries": (int, float)}, ctx)
+            if isinstance(level.get("rows_hi"), (int, float)) \
+                    and level["rows_hi"] < 0:
+                fail(errors, f"{ctx}: rows_hi < 0")
+            if isinstance(level.get("width"), int) and level["width"] < 1:
+                fail(errors, f"{ctx}: width < 1")
+    findings = doc.get("findings")
+    seen_errors = seen_warnings = 0
+    if not isinstance(findings, list):
+        fail(errors, "'findings' is missing or not an array")
+    else:
+        for i, finding in enumerate(findings):
+            ctx = f"findings[{i}]"
+            if not isinstance(finding, dict):
+                fail(errors, f"{ctx} is not an object")
+                continue
+            check_typed_keys(errors, finding,
+                             {"obligation": str, "severity": str,
+                              "depth": int, "message": str}, ctx)
+            if isinstance(finding.get("obligation"), str) \
+                    and finding["obligation"] not in VERIFY_OBLIGATIONS:
+                fail(errors, f"{ctx}: unknown obligation "
+                     f"{finding['obligation']!r}")
+            severity = finding.get("severity")
+            if isinstance(severity, str):
+                if severity not in VERIFY_SEVERITIES:
+                    fail(errors, f"{ctx}: unknown severity {severity!r}")
+                elif severity == "error":
+                    seen_errors += 1
+                else:
+                    seen_warnings += 1
+            if not isinstance(finding.get("message"), str) \
+                    or not finding.get("message"):
+                fail(errors, f"{ctx}: empty message")
+        if isinstance(doc.get("errors"), int) \
+                and doc["errors"] != seen_errors:
+            fail(errors, f"document claims {doc['errors']} error(s), "
+                 f"findings contain {seen_errors}")
+        if isinstance(doc.get("warnings"), int) \
+                and doc["warnings"] != seen_warnings:
+            fail(errors, f"document claims {doc['warnings']} warning(s), "
+                 f"findings contain {seen_warnings}")
+        if isinstance(doc.get("verified"), bool) \
+                and doc["verified"] != (seen_errors == 0):
+            fail(errors, f"verified={doc['verified']} inconsistent with "
+                 f"{seen_errors} error-severity finding(s)")
+    if isinstance(doc.get("obligations_checked"), int) \
+            and isinstance(findings, list) \
+            and doc["obligations_checked"] < len(findings):
+        fail(errors, f"obligations_checked {doc['obligations_checked']} < "
+             f"{len(findings)} finding(s)")
+    return errors
+
+
+def validate_fuzz(doc):
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top-level value is not an object"]
+    if doc.get("schema") != "gamma.fuzz.v1":
+        fail(errors, f"schema is {doc.get('schema')!r}, want "
+             f"'gamma.fuzz.v1'")
+    check_typed_keys(errors, doc,
+                     {"seed": int, "patterns": int, "mutants_refuted": int,
+                      "mutants_benign": int}, "document")
+    failures = doc.get("failures")
+    if not isinstance(failures, list):
+        fail(errors, "'failures' is missing or not an array")
+    else:
+        for i, failure in enumerate(failures):
+            ctx = f"failures[{i}]"
+            if not isinstance(failure, dict):
+                fail(errors, f"{ctx} is not an object")
+                continue
+            check_typed_keys(errors, failure,
+                             {"kind": str, "pattern": str, "detail": str},
+                             ctx)
+    return errors
+
+
 VALIDATORS = {
     "gamma.bench.v1": validate,
     "gamma.adaptivity.v1": validate_adaptivity,
@@ -1103,6 +1254,8 @@ VALIDATORS = {
     "gamma.critpath.v1": validate_critpath,
     "gamma.plan.v1": validate_plan,
     "gamma.planprof.v1": validate_planprof,
+    "gamma.verify.v1": validate_verify,
+    "gamma.fuzz.v1": validate_fuzz,
 }
 
 
@@ -1111,9 +1264,12 @@ def main(argv):
     expect_clean = "--expect-clean" in args
     if expect_clean:
         args.remove("--expect-clean")
+    expect_verified = "--expect-verified" in args
+    if expect_verified:
+        args.remove("--expect-verified")
     if len(args) != 1:
-        print(f"usage: {argv[0]} [--expect-clean] <file.json>",
-              file=sys.stderr)
+        print(f"usage: {argv[0]} [--expect-clean] [--expect-verified] "
+              f"<file.json>", file=sys.stderr)
         return 2
     path = args[0]
     try:
@@ -1141,6 +1297,18 @@ def main(argv):
                       file=sys.stderr)
             errors = [f"expected a clean report but it has "
                       f"{len(doc['findings'])} finding(s)"]
+    if expect_verified:
+        if schema != "gamma.verify.v1":
+            print(f"{path}: --expect-verified only applies to "
+                  f"gamma.verify.v1", file=sys.stderr)
+            return 2
+        if not errors and not doc.get("verified"):
+            for f in doc.get("findings", []):
+                if f.get("severity") == "error":
+                    print(f"{path}: refuted [{f.get('obligation')}] "
+                          f"{f.get('message')}", file=sys.stderr)
+            errors = [f"expected a verified plan but the report refutes "
+                      f"it with {doc.get('errors')} error(s)"]
     if errors:
         for msg in errors:
             print(f"{path}: {msg}", file=sys.stderr)
@@ -1175,6 +1343,15 @@ def main(argv):
         print(f"{argv[1]}: OK — {doc['kind']} run, "
               f"{len(doc['levels'])} level(s), worst Q-error "
               f"{doc['summary'].get('worst_q_error'):.6g}, {attr}")
+    elif schema == "gamma.verify.v1":
+        verdict = "VERIFIED" if doc.get("verified") else "REFUTED"
+        print(f"{argv[1]}: OK — {verdict} {doc['kind']} plan, "
+              f"{doc['obligations_checked']} obligation(s) checked, "
+              f"{doc['errors']} error(s), {doc['warnings']} warning(s)")
+    elif schema == "gamma.fuzz.v1":
+        print(f"{argv[1]}: OK — seed {doc['seed']}, {doc['patterns']} "
+              f"patterns, {doc['mutants_refuted']} mutants refuted, "
+              f"{len(doc['failures'])} failure(s)")
     else:
         print(f"{argv[1]}: OK — {len(doc['samples'])} samples, "
               f"{len(doc['columns'])} columns")
